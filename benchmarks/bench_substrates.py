@@ -1,0 +1,124 @@
+"""Substrate micro-benchmarks: the simulator's own performance.
+
+These are classic pytest-benchmark targets (many rounds, statistical
+timing): how fast the fluid solver processes events, RS encode/decode
+throughput, allocator operation rates, translation rate.  They guard
+against performance regressions that would make the figure benches
+painfully slow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.addressing import AddressTranslator
+from repro.core.failures.erasure import ReedSolomon
+from repro.mem.allocator import BuddyAllocator, FreeListAllocator
+from repro.mem.layout import GlobalAddress, PageGeometry
+from repro.mem.page_table import Protection
+from repro.sim.engine import Engine
+from repro.sim.fluid import Capacity, FluidModel
+from repro.units import mib
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_fluid_solver_event_rate(benchmark):
+    """Time 1000 sequential chunk transfers through one capacity."""
+
+    def run():
+        engine = Engine()
+        fluid = FluidModel(engine)
+        link = Capacity("link", 34.5)
+
+        def body():
+            for _ in range(1000):
+                yield fluid.transfer([link], mib(4))
+
+        engine.run(engine.process(body()))
+        return engine.events_processed
+
+    events = benchmark(run)
+    assert events >= 1000
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_fluid_solver_concurrent_flows(benchmark):
+    """14 cores' worth of concurrent flows with fair-share recomputes."""
+
+    def run():
+        engine = Engine()
+        fluid = FluidModel(engine)
+        link = Capacity("link", 34.5)
+
+        def core_body():
+            for _ in range(50):
+                yield fluid.transfer([link], mib(4))
+
+        procs = [engine.process(core_body()) for _ in range(14)]
+        engine.run(engine.all_of(procs))
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_rs_encode_throughput(benchmark):
+    rs = ReedSolomon(4, 2)
+    payload = bytes(mib(1))
+    shards = benchmark(rs.encode, payload)
+    assert len(shards) == 6
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_rs_decode_with_erasures(benchmark):
+    rs = ReedSolomon(4, 2)
+    payload = bytes(range(256)) * 4096  # 1 MiB
+    shards = rs.encode(payload)
+    survivors = {1: shards[1], 2: shards[2], 4: shards[4], 5: shards[5]}
+    result = benchmark(rs.decode, survivors, len(payload))
+    assert result == payload
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_freelist_allocator_ops(benchmark):
+    def churn():
+        alloc = FreeListAllocator(1 << 30, align=4096)
+        live = []
+        for i in range(500):
+            live.append(alloc.allocate(4096 * (1 + i % 17)))
+            if i % 3 == 0:
+                alloc.free(live.pop(0))
+        return alloc.alloc_count
+
+    assert benchmark(churn) == 500
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_buddy_allocator_ops(benchmark):
+    def churn():
+        buddy = BuddyAllocator(1 << 26, min_block=4096)
+        live = []
+        for i in range(500):
+            live.append(buddy.allocate(4096 << (i % 4)))
+            if i % 2 == 0:
+                buddy.free(live.pop(0))
+        return len(live)
+
+    benchmark(churn)
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_translation_rate(benchmark):
+    geometry = PageGeometry()
+    translator = AddressTranslator(geometry)
+    translator.register_server(0)
+    translator.register_server(1)
+    translator.global_map.claim(0, 0)
+    table = translator.page_table(0)
+    for page in range(geometry.pages_per_extent):
+        table.map_page(page, page * geometry.page_bytes, Protection.RW)
+
+    def translate_many():
+        for i in range(1000):
+            translator.translate(1, GlobalAddress((i * 4096) % geometry.extent_bytes))
+
+    benchmark(translate_many)

@@ -1,0 +1,37 @@
+"""Benchmark support.
+
+Every bench renders its experiment's tables into
+``benchmarks/results/<id>.txt`` so EXPERIMENTS.md can quote them
+verbatim, and runs the experiment exactly once under the timer —
+drivers already repeat internally (the paper's 10 repetitions), so
+once is the honest cost measurement.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Write a rendered experiment to benchmarks/results/<name>.txt."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

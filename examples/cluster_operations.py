@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Day-2 operations: watching and steering a live logical pool.
+
+The paper's runtime isn't just allocation — it's the ongoing care of a
+cluster: watching utilization, evening out load, giving servers their
+private memory back, compacting application logs.  This walkthrough
+drives all of it against one simulated rack:
+
+    $ python examples/cluster_operations.py
+"""
+
+import random
+
+from repro.core.api import LmpSession
+from repro.core.inspect import describe_pool, render_pool
+from repro.core.migration import CapacityBalancer
+from repro.core.runtime import LmpRuntime
+from repro.topology.builder import build_logical
+from repro.units import gib, mib
+from repro.workloads.kvstore import PooledKVStore
+
+
+def main() -> None:
+    deployment = build_logical("link0", seed=1)
+    engine = deployment.engine
+    runtime = LmpRuntime(deployment, shared_fraction=0.8)
+    pool = runtime.pool
+
+    print("== morning: tenants pile onto server 0 ==\n")
+    loader = LmpSession(runtime, 0)
+    tables = [loader.alloc(gib(5), name=f"table{i}") for i in range(3)]
+    print(render_pool(pool, title="after the morning load"))
+
+    print("\n== rebalance: spread the cold bulk off server 0 ==\n")
+    balancer = CapacityBalancer(pool, runtime.profiler, tolerance=1.3)
+    report = engine.run(balancer.rebalance())
+    print(
+        f"moved {report.moves} extents ({report.bytes_moved / gib(1):.1f} GiB); "
+        f"imbalance {report.imbalance_before:.2f} -> {report.imbalance_after:.2f}\n"
+    )
+    print(render_pool(pool, title="after rebalancing"))
+
+    print("\n== noon: server 2 needs 10 GiB of private memory back ==\n")
+    reclaim = engine.run(runtime.reclaim_private(2, gib(10)))
+    print(
+        f"reclaimed {reclaim.reclaimed_bytes / gib(1):.1f} GiB "
+        f"(evacuated {reclaim.extents_evacuated} extents, satisfied={reclaim.satisfied})"
+    )
+    snapshot = describe_pool(pool)
+    print(f"server2 private memory now: {snapshot.servers[2].private_bytes / gib(1):.1f} GiB")
+
+    print("\n== afternoon: the KV log fills with dead versions ==\n")
+    store = PooledKVStore(pool, capacity_bytes=mib(64), home_server=1, name="sessions")
+    rng = random.Random(7)
+    for _ in range(200):
+        key = f"s{rng.randrange(20)}".encode()
+        engine.run(store.put(1, key, bytes(rng.randrange(1, 2048))))
+    print(
+        f"log: {store.bytes_used / mib(1):.1f} MiB used, "
+        f"{store.garbage_ratio():.0%} garbage"
+    )
+    reclaimed = engine.run(store.compact(1))
+    print(
+        f"compaction reclaimed {reclaimed / mib(1):.1f} MiB; "
+        f"garbage now {store.garbage_ratio():.0%}"
+    )
+
+    print("\n== evening report ==\n")
+    print(render_pool(pool, title="end of day"))
+    for table in tables:
+        assert not table.freed  # tenants unaffected by any of the above
+
+
+if __name__ == "__main__":
+    main()

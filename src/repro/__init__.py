@@ -1,0 +1,34 @@
+"""Reproduction of "Logical Memory Pools: Flexible and Local Disaggregated
+Memory" (Amaro, Wang, Panda, Aguilera — HotNets '23).
+
+The package builds, in pure Python, every system the paper describes or
+depends on:
+
+* a discrete-event simulator of a CXL-like rack (:mod:`repro.sim`,
+  :mod:`repro.hw`, :mod:`repro.fabric`),
+* the logical memory pool runtime — the paper's contribution — with
+  two-step address translation, private/shared region sizing, locality
+  balancing, a coherent region, near-memory compute shipping, and
+  failure handling (:mod:`repro.core`),
+* the physical-pool baselines the paper compares against,
+* the paper's workloads and every table/figure of its evaluation
+  (:mod:`repro.workloads`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.core import LogicalMemoryPool
+    from repro.topology.builder import build_logical
+    from repro.units import gib
+    from repro.workloads import run_vector_sum
+
+    pool = LogicalMemoryPool(build_logical("link1"))   # 4 servers x 24 GiB
+    result = run_vector_sum(pool, gib(24))
+    print(result.bandwidth_gbps)                       # ~97 (local speed)
+
+See README.md for the full tour, DESIGN.md for the system inventory,
+and ``python -m repro list`` for every runnable experiment.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,14 @@
+"""Analysis utilities.
+
+* :mod:`repro.analysis.bandwidth` — a closed-form analytic model of the
+  microbenchmark, used to cross-validate the discrete-event simulator
+  (property tests require the two to agree on contention-free cases).
+* :mod:`repro.analysis.report` — plain-text tables and bar charts for
+  the experiment drivers (the offline stand-in for the paper's
+  figures).
+"""
+
+from repro.analysis.bandwidth import analytic_vector_sum
+from repro.analysis.report import format_barchart, format_table
+
+__all__ = ["analytic_vector_sum", "format_barchart", "format_table"]

@@ -1,0 +1,121 @@
+"""Closed-form bandwidth model of the §4.1 microbenchmark.
+
+For a scan that reads ``local_bytes`` at the local channel rate and
+``remote_bytes`` through the fabric link, with each byte crossing each
+resource once, the makespan is bounded by per-resource work::
+
+    T = max( local_work / B_local , remote_work / B_link , serial chain )
+
+For the serialized (demand-fetch) cache model, the fill and the read of
+the same byte are dependent, so their times *add* per byte.  This gives
+the familiar harmonic forms:
+
+* Logical:            T = local/B_l + remote/B_r   (per-core chains are
+  balanced across cores, and local and remote phases do not overlap for
+  a given core's shard mix in the LocalFirst layout: cores holding local
+  shards finish early, remote cores bound the makespan — see below)
+* Physical no-cache:  T = size/B_r
+* Physical cache:     hit bytes at B_l; miss bytes at 1/(1/B_r + 1/B_l)
+
+The logical case needs care: with LocalFirst placement and equal
+per-core shards, cores whose shard is fully local finish in
+``shard/B_l`` while cores with remote shards need ``shard_r/B_r``; the
+makespan is the slowest core, with the remote portion spread over the
+cores that own it.  The function below reproduces exactly the shard
+arithmetic the driver uses.
+
+These formulas are the ground truth the DES must match on
+contention-free scenarios (tests/test_analysis.py), and a fast way to
+sweep parameter spaces the simulator would take minutes on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class AnalyticInputs:
+    """Everything the closed form needs."""
+
+    vector_bytes: float
+    local_gbps: float
+    remote_gbps: float
+    core_count: int = 14
+    local_fraction: float = 1.0  # of the vector, resolved locally
+    cache_bytes: float = 0.0  # Physical cache only
+    repetitions: int = 10
+
+
+def analytic_vector_sum(config: str, inputs: AnalyticInputs) -> float:
+    """Average bandwidth in GB/s for one §4.1 configuration.
+
+    *config* is ``"logical"``, ``"physical-cache"`` or
+    ``"physical-nocache"``.
+    """
+    if inputs.vector_bytes <= 0 or inputs.local_gbps <= 0 or inputs.remote_gbps <= 0:
+        raise ConfigError("analytic inputs must be positive")
+    if config == "logical":
+        return _logical(inputs)
+    if config == "physical-nocache":
+        return inputs.remote_gbps
+    if config == "physical-cache":
+        return _physical_cache(inputs)
+    raise ConfigError(f"unknown config {config!r}")
+
+
+def _logical(inputs: AnalyticInputs) -> float:
+    """LocalFirst layout: the first ``local_fraction`` of the vector is
+    local; shards are contiguous equal slices, so each core's shard has
+    its own local/remote mix.  The makespan is the slowest core (cores
+    sharing the link split it evenly)."""
+    size = inputs.vector_bytes
+    shard = size / inputs.core_count
+    local_bytes = size * inputs.local_fraction
+    worst = 0.0
+    # cores whose shard is partly/fully remote share the link; compute
+    # the total remote bytes and the number of cores carrying them
+    remote_total = size - local_bytes
+    if remote_total <= 0:
+        return inputs.local_gbps
+    remote_cores = 0
+    for core in range(inputs.core_count):
+        start = core * shard
+        end = start + shard
+        core_remote = max(0.0, end - max(start, local_bytes))
+        if core_remote > 0:
+            remote_cores += 1
+        core_local = shard - core_remote
+        worst = max(worst, core_local / inputs.local_gbps)
+    # remote cores split the link bandwidth; their local prefixes add
+    link_share = inputs.remote_gbps / remote_cores
+    for core in range(inputs.core_count):
+        start = core * shard
+        end = start + shard
+        core_remote = max(0.0, end - max(start, local_bytes))
+        if core_remote <= 0:
+            continue
+        core_local = shard - core_remote
+        worst = max(
+            worst,
+            core_local / inputs.local_gbps
+            + core_remote / min(link_share, inputs.local_gbps),
+        )
+    return size / worst
+
+
+def _physical_cache(inputs: AnalyticInputs) -> float:
+    """Demand-fetch page cache: misses serialize fill + read per byte."""
+    size = inputs.vector_bytes
+    fits = size <= inputs.cache_bytes
+    miss_rate_after_warm = 0.0 if fits else 1.0
+    miss_bw = 1.0 / (1.0 / inputs.remote_gbps + 1.0 / inputs.local_gbps)
+    total_time = 0.0
+    for rep in range(inputs.repetitions):
+        miss_fraction = 1.0 if rep == 0 else miss_rate_after_warm
+        hit_bytes = size * (1.0 - miss_fraction)
+        miss_bytes = size * miss_fraction
+        total_time += hit_bytes / inputs.local_gbps + miss_bytes / miss_bw
+    return inputs.repetitions * size / total_time

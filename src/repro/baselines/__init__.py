@@ -1,0 +1,12 @@
+"""Baselines beyond the paper's own comparison set.
+
+* :mod:`repro.baselines.software` — software memory disaggregation
+  (RDMA-style far memory), the §2.1 background the paper argues CXL
+  obsoletes: "software inititates requests to access disaggregated
+  memory ... This process is slow and poorly aligned with CPU
+  architectural features."
+"""
+
+from repro.baselines.software import SoftwareRemoteMemory
+
+__all__ = ["SoftwareRemoteMemory"]

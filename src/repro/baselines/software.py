@@ -1,0 +1,148 @@
+"""Software memory disaggregation: RDMA-style far memory.
+
+The §2.1 mechanism hardware disaggregation replaces: "using RDMA,
+application libraries or the OS must post memory access requests to
+network queues; the NIC then adds completions to completion queues,
+which software drains."
+
+The model charges what that pipeline actually costs:
+
+* **post overhead** — CPU work to build and ring a work-queue entry
+  (~250 ns of instructions, cache misses, doorbell MMIO),
+* **NIC processing** — per-WQE service at the initiator and target NICs
+  (bounded message rate, modeled as FIFO service centers),
+* **fabric time** — the same link fluid model the CXL pools use (the
+  wire isn't slower; the *software* is),
+* **completion overhead** — polling the CQ and dispatching (~200 ns),
+* **bounded queue depth** — at most ``queue_depth`` outstanding
+  requests per QP, which caps small-access throughput by Little's law
+  exactly the way real verbs do.
+
+Large transfers amortize all of this and reach wire speed — which is
+why RDMA far-memory systems are fine for paging and terrible for
+cache-line-sized load/store patterns, the paper's core §2.1 point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import ConfigError
+from repro.sim.resources import FifoQueue, Semaphore
+from repro.topology.builder import Deployment
+from repro.units import us
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.process import Process
+
+
+@dataclasses.dataclass(frozen=True)
+class SoftwareIoCosts:
+    """The software/NIC overheads of one RDMA-style operation (ns)."""
+
+    post_ns: float = 250.0  # WQE build + doorbell
+    completion_ns: float = 200.0  # CQ poll + dispatch
+    nic_service_ns: float = 100.0  # per-WQE NIC pipeline occupancy
+    interrupt_ns: float = 0.0  # 0 = busy polling; set ~2000 for eventfd paths
+
+    @property
+    def per_op_software_ns(self) -> float:
+        return self.post_ns + self.completion_ns + self.interrupt_ns
+
+
+class SoftwareRemoteMemory:
+    """One server's verbs-style access path to a remote memory target."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        requester: str,
+        target: str,
+        costs: SoftwareIoCosts | None = None,
+        queue_depth: int = 32,
+    ) -> None:
+        if queue_depth < 1:
+            raise ConfigError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.deployment = deployment
+        self.engine = deployment.engine
+        self.fluid = deployment.fluid
+        self.switch = deployment.switch
+        self.requester = requester
+        self.target = target
+        self.costs = costs or SoftwareIoCosts()
+        self.queue_depth = queue_depth
+        self._slots = Semaphore(self.engine, capacity=queue_depth)
+        #: initiator and target NIC pipelines (per-WQE service)
+        self._initiator_nic = FifoQueue(
+            self.engine, self.costs.nic_service_ns, name=f"{requester}.nic"
+        )
+        self._target_nic = FifoQueue(
+            self.engine, self.costs.nic_service_ns, name=f"{target}.nic"
+        )
+        self.ops_posted = 0
+        self.bytes_moved = 0
+
+    # -- one-sided read (the far-memory workhorse) -------------------------------
+
+    def read(self, addr: int, size: int) -> "Process":
+        """One-sided RDMA read; the process returns its end-to-end latency."""
+        return self.engine.process(self._op_body(addr, size, write=False), name="rdma.read")
+
+    def write(self, addr: int, size: int) -> "Process":
+        """One-sided RDMA write; the process returns its latency."""
+        return self.engine.process(self._op_body(addr, size, write=True), name="rdma.write")
+
+    def _op_body(self, addr: int, size: int, write: bool):
+        started = self.engine.now
+        self.ops_posted += 1
+        # bounded outstanding requests per QP
+        yield self._slots.acquire()
+        try:
+            # software posts the WQE
+            yield self.engine.timeout(self.costs.post_ns)
+            # initiator NIC processes it, request crosses the fabric
+            yield self._initiator_nic.submit()
+            if write:
+                route = self.switch.write_route(self.requester, self.target)
+            else:
+                route = self.switch.read_route(self.requester, self.target)
+            yield self.engine.timeout(route.loaded_latency())
+            # target NIC + DMA moves the payload
+            yield self._target_nic.submit()
+            yield self.fluid.transfer(route.path, float(size), tag="rdma")
+            # completion comes back; software drains the CQ
+            yield self.engine.timeout(self.costs.per_op_software_ns - self.costs.post_ns)
+        finally:
+            self._slots.release()
+        self.bytes_moved += size
+        return self.engine.now - started
+
+    # -- closed-loop microbenchmarks -------------------------------------------
+
+    def measure_latency(self, size: int, samples: int = 8) -> float:
+        """Mean latency of back-to-back single ops (unloaded)."""
+        total = 0.0
+        for _ in range(samples):
+            total += self.engine.run(self.read(0, size))
+        return total / samples
+
+    def measure_throughput(self, size: int, total_ops: int = 256) -> float:
+        """Achieved bandwidth (bytes/ns) with the QP kept full."""
+        engine = self.engine
+
+        def issuer():
+            pending = [self.read(0, size) for _ in range(total_ops)]
+            yield engine.all_of(pending)
+
+        started = engine.now
+        engine.run(engine.process(issuer(), name="rdma.bench"))
+        elapsed = engine.now - started
+        return total_ops * size / elapsed if elapsed else 0.0
+
+
+def hardware_latency(deployment: Deployment, requester: str, target: str, size: int) -> float:
+    """The CXL load/store counterpart: route latency + wire time, no
+    software in the loop (for the comparison tables)."""
+    route = deployment.switch.read_route(requester, target)
+    return route.loaded_latency() + size / min(c.rate for c in route.path)

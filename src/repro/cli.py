@@ -1,0 +1,131 @@
+"""Command-line interface: run any experiment by its DESIGN.md id.
+
+Usage::
+
+    python -m repro list
+    python -m repro run figure2
+    python -m repro run table2 figure5 nearmem
+    python -m repro run all --out results/
+
+Each experiment prints its rendered tables/charts to stdout and,
+with ``--out DIR``, also writes ``<id>.txt`` files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+import typing as _t
+
+
+def _runner(module_name: str, **kwargs: _t.Any) -> _t.Callable[[], _t.Any]:
+    """Late-import experiment runner (keeps `list` instant)."""
+
+    def run() -> _t.Any:
+        import importlib
+
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        return module.run(**kwargs)
+
+    return run
+
+
+def _figure_runner(figure: str) -> _t.Callable[[], _t.Any]:
+    def run() -> _t.Any:
+        from repro.experiments import figures
+
+        return figures.run_figure(figure)
+
+    return run
+
+
+#: id -> (description, runner factory)
+EXPERIMENTS: dict[str, tuple[str, _t.Callable[[], _t.Any]]] = {
+    "table1": ("Table 1: memory-type latency and bandwidth", _runner("table1")),
+    "table2": ("Table 2: Link0/Link1 under load", _runner("table2")),
+    "figure2": ("Figure 2: 8 GB vector microbenchmark", _figure_runner("figure2")),
+    "figure3": ("Figure 3: 24 GB vector microbenchmark", _figure_runner("figure3")),
+    "figure4": ("Figure 4: 64 GB vector microbenchmark", _figure_runner("figure4")),
+    "figure5": ("Figure 5: 96 GB vector (feasibility)", _figure_runner("figure5")),
+    "latency": ("S4.3 loaded-latency ratios", _runner("latency")),
+    "cost": ("S4.2 cost scenarios (Benefit 1)", _runner("cost")),
+    "nearmem": ("S4.4 near-memory computing (Benefit 3)", _runner("nearmem")),
+    "software": ("S2.1 software vs hardware disaggregation", _runner("software")),
+    "applications": ("A9: KV store + graph BFS across pool architectures", _runner("applications")),
+    "sweeps": ("A6: slowdown and working-set sweeps", _runner("sweeps")),
+    "accelerators": ("A8: CPU vs Type-2 accelerator shipping", _runner("accelerators")),
+    "multirack": ("A7: rack-scale pools over a PBR fabric", _runner("multirack")),
+    "incast": ("A1: incast at the physical pool", _runner("incast")),
+    "sizing": ("A2: shared-region sizing policies", _runner("sizing")),
+    "migration": ("A3: locality balancing on/off", _runner("migration")),
+    "coherence": ("A4: snoop-filter pressure + lock designs", _runner("coherence")),
+    "failures": ("A5: crash recovery regimes", _runner("failures")),
+}
+
+
+def list_experiments(out: _t.TextIO = sys.stdout) -> None:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (description, _run) in EXPERIMENTS.items():
+        print(f"  {name:<{width}}  {description}", file=out)
+
+
+def run_experiments(
+    names: _t.Sequence[str],
+    out_dir: pathlib.Path | None = None,
+    stream: _t.TextIO = sys.stdout,
+) -> int:
+    """Run experiments by name; returns a process exit code."""
+    if "all" in names:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("known:", file=sys.stderr)
+        list_experiments(sys.stderr)
+        return 2
+
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        print(f"=== {name}: {description} ===", file=stream)
+        started = time.perf_counter()
+        result = runner()
+        elapsed = time.perf_counter() - started
+        rendered = result.render()
+        print(rendered, file=stream)
+        print(f"({elapsed:.1f}s wall clock)\n", file=stream)
+        if out_dir is not None:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / f"{name}.txt").write_text(rendered + "\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the Logical Memory Pools (HotNets '23) evaluation.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("list", help="list available experiments")
+    run_cmd = commands.add_parser("run", help="run one or more experiments")
+    run_cmd.add_argument("names", nargs="+", help="experiment ids, or 'all'")
+    run_cmd.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="directory to write rendered <id>.txt files into",
+    )
+    return parser
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        list_experiments()
+        return 0
+    return run_experiments(args.names, out_dir=args.out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

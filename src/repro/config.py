@@ -1,0 +1,180 @@
+"""Configuration loading: deployments and pod shapes as plain dicts.
+
+Experiments embedded in other tooling (sweep drivers, notebooks, the
+CLI) want to describe deployments as data rather than code.  This
+module round-trips the spec dataclasses through JSON-compatible dicts
+with explicit validation and helpful errors:
+
+* sizes accept integers (bytes) or strings with units
+  (``"24GiB"``, ``"8GB"``, ``"512MiB"``),
+* unknown keys are rejected (typos fail loudly, not silently),
+* ``to_dict`` output feeds back through ``from_dict`` unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import typing as _t
+
+from repro.errors import ConfigError
+from repro.topology.multirack import MultiRackSpec
+from repro.topology.specs import DeploymentKind, DeploymentSpec
+from repro.units import GB, GiB, KiB, MB, MiB
+
+_SIZE_UNITS: dict[str, int] = {
+    "B": 1,
+    "KB": 1000,
+    "KIB": KiB,
+    "MB": MB,
+    "MIB": MiB,
+    "GB": GB,
+    "GIB": GiB,
+    "TB": 10**12,
+    "TIB": 1 << 40,
+}
+
+_SIZE_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([A-Za-z]+)\s*$")
+
+
+def parse_size(value: _t.Any) -> int:
+    """Parse a byte count from an int or a '24GiB'-style string."""
+    if isinstance(value, bool):
+        raise ConfigError(f"size cannot be a boolean: {value!r}")
+    if isinstance(value, int):
+        if value < 0:
+            raise ConfigError(f"size cannot be negative: {value}")
+        return value
+    if isinstance(value, float):
+        if value < 0 or value != int(value):
+            raise ConfigError(f"float sizes must be whole bytes, got {value}")
+        return int(value)
+    if isinstance(value, str):
+        match = _SIZE_RE.match(value)
+        if not match:
+            raise ConfigError(f"cannot parse size {value!r} (try '24GiB')")
+        number, unit = match.groups()
+        factor = _SIZE_UNITS.get(unit.upper())
+        if factor is None:
+            known = ", ".join(sorted(_SIZE_UNITS))
+            raise ConfigError(f"unknown size unit {unit!r}; known: {known}")
+        return int(float(number) * factor)
+    raise ConfigError(f"size must be an int or string, got {type(value).__name__}")
+
+
+def _check_keys(data: _t.Mapping[str, _t.Any], allowed: set[str], what: str) -> None:
+    unknown = set(data) - allowed
+    if unknown:
+        raise ConfigError(
+            f"unknown {what} key(s): {', '.join(sorted(unknown))}; "
+            f"allowed: {', '.join(sorted(allowed))}"
+        )
+
+
+_DEPLOYMENT_KEYS = {
+    "kind",
+    "server_count",
+    "server_dram",
+    "pool_dram",
+    "link",
+    "pool_link_width",
+    "core_count",
+    "cache_page",
+    "switch_ports",
+}
+
+
+def deployment_from_dict(data: _t.Mapping[str, _t.Any]) -> DeploymentSpec:
+    """Build a :class:`DeploymentSpec` from a plain dict."""
+    _check_keys(data, _DEPLOYMENT_KEYS, "deployment")
+    kind_raw = data.get("kind", "logical")
+    try:
+        kind = DeploymentKind(kind_raw)
+    except ValueError:
+        known = ", ".join(k.value for k in DeploymentKind)
+        raise ConfigError(f"unknown deployment kind {kind_raw!r}; known: {known}") from None
+    kwargs: dict[str, _t.Any] = {"kind": kind}
+    if "server_count" in data:
+        kwargs["server_count"] = int(data["server_count"])
+    if "server_dram" in data:
+        kwargs["server_dram_bytes"] = parse_size(data["server_dram"])
+    if "pool_dram" in data:
+        kwargs["pool_dram_bytes"] = parse_size(data["pool_dram"])
+    if "link" in data:
+        kwargs["link"] = str(data["link"])
+    if "pool_link_width" in data:
+        kwargs["pool_link_width"] = float(data["pool_link_width"])
+    if "core_count" in data:
+        kwargs["core_count"] = int(data["core_count"])
+    if "cache_page" in data:
+        kwargs["cache_page_bytes"] = parse_size(data["cache_page"])
+    if "switch_ports" in data:
+        kwargs["switch_ports"] = int(data["switch_ports"])
+    return DeploymentSpec(**kwargs)
+
+
+def deployment_to_dict(spec: DeploymentSpec) -> dict[str, _t.Any]:
+    """Serialize a spec back to the dict shape `deployment_from_dict` reads."""
+    out: dict[str, _t.Any] = {
+        "kind": spec.kind.value,
+        "server_count": spec.server_count,
+        "server_dram": spec.server_dram_bytes,
+        "link": spec.link,
+        "core_count": spec.core_count,
+        "cache_page": spec.cache_page_bytes,
+        "switch_ports": spec.switch_ports,
+    }
+    if spec.kind.is_physical:
+        out["pool_dram"] = spec.pool_dram_bytes
+        out["pool_link_width"] = spec.pool_link_width
+    return out
+
+
+_MULTIRACK_KEYS = {
+    "racks",
+    "servers_per_rack",
+    "server_dram",
+    "link",
+    "trunk_width",
+    "spine_count",
+    "hop_latency_ns",
+}
+
+
+def multirack_from_dict(data: _t.Mapping[str, _t.Any]) -> MultiRackSpec:
+    """Build a :class:`MultiRackSpec` from a plain dict."""
+    _check_keys(data, _MULTIRACK_KEYS, "multirack")
+    kwargs: dict[str, _t.Any] = {}
+    if "racks" in data:
+        kwargs["racks"] = int(data["racks"])
+    if "servers_per_rack" in data:
+        kwargs["servers_per_rack"] = int(data["servers_per_rack"])
+    if "server_dram" in data:
+        kwargs["server_dram_bytes"] = parse_size(data["server_dram"])
+    if "link" in data:
+        kwargs["link"] = str(data["link"])
+    if "trunk_width" in data:
+        kwargs["trunk_width"] = float(data["trunk_width"])
+    if "spine_count" in data:
+        kwargs["spine_count"] = int(data["spine_count"])
+    if "hop_latency_ns" in data:
+        kwargs["hop_latency_ns"] = float(data["hop_latency_ns"])
+    return MultiRackSpec(**kwargs)
+
+
+def load_deployment(path_or_json: str) -> DeploymentSpec:
+    """Load a deployment spec from a JSON file path or a JSON string."""
+    text = path_or_json
+    if not path_or_json.lstrip().startswith(("{", "[")):
+        try:
+            with open(path_or_json, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise ConfigError(f"cannot read config {path_or_json!r}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid JSON config: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigError("deployment config must be a JSON object")
+    return deployment_from_dict(data)

@@ -1,0 +1,146 @@
+"""The two-step address translation scheme (§5 "Address translation").
+
+Step 1 — *coarse, global*: the requester's cached copy of the global
+map resolves the extent to its owning server.  Step 2 — *fine, local*:
+the owner's page table resolves the page within the extent to a DRAM
+frame.
+
+A traditional flat directory "is too inefficient for our use, because
+all servers need access to the directory when translating addresses";
+the two-step split keeps step 1 in a small, replicable structure and
+step 2 entirely owner-local.
+
+Staleness: migration bumps the extent's generation in the authoritative
+map.  A requester using a stale cached entry is rejected by the (former)
+owner, drops the entry, and retries — we count those retries, and the
+migration tests assert they are bounded (one per migration per
+requester).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import AddressError
+from repro.mem.global_map import GlobalMap, MapCache
+from repro.mem.layout import GlobalAddress, PageGeometry
+from repro.mem.page_table import PageTable
+
+
+@dataclasses.dataclass(frozen=True)
+class Translation:
+    """The outcome of translating one logical address."""
+
+    address: GlobalAddress
+    server_id: int
+    dram_offset: int
+    remote: bool
+    stale_retries: int
+
+
+class AddressTranslator:
+    """Shared translation fabric: one authoritative map, per-server
+    caches and page tables."""
+
+    MAX_RETRIES = 4
+
+    def __init__(self, geometry: PageGeometry) -> None:
+        self.geometry = geometry
+        self.global_map = GlobalMap(geometry)
+        self.page_tables: dict[int, PageTable] = {}
+        self.caches: dict[int, MapCache] = {}
+        self.translations = 0
+        self.total_stale_retries = 0
+
+    def register_server(self, server_id: int) -> None:
+        if server_id in self.page_tables:
+            raise AddressError(f"server {server_id} already registered")
+        self.page_tables[server_id] = PageTable(server_id, self.geometry)
+        self.caches[server_id] = MapCache(self.global_map)
+
+    def page_table(self, server_id: int) -> PageTable:
+        try:
+            return self.page_tables[server_id]
+        except KeyError:
+            raise AddressError(f"server {server_id} not registered") from None
+
+    def cache(self, server_id: int) -> MapCache:
+        try:
+            return self.caches[server_id]
+        except KeyError:
+            raise AddressError(f"server {server_id} not registered") from None
+
+    # -- the two steps ----------------------------------------------------------
+
+    def translate(
+        self,
+        requester_id: int,
+        addr: GlobalAddress | int,
+        write: bool = False,
+    ) -> Translation:
+        """Resolve *addr* for *requester_id*, retrying past stale cache
+        entries the way the real protocol would."""
+        addr = GlobalAddress(int(addr))
+        cache = self.cache(requester_id)
+        retries = 0
+        while True:
+            entry = cache.lookup(addr)  # step 1 (cached coarse map)
+            if cache.is_current(entry):
+                break
+            # The owner named by the stale entry rejects the access; we
+            # drop the entry and re-fetch.
+            cache.note_stale(entry.extent_index)
+            retries += 1
+            if retries > self.MAX_RETRIES:
+                raise AddressError(
+                    f"address {int(addr):#x}: translation livelock after "
+                    f"{retries} stale retries"
+                )
+        owner = entry.server_id
+        table = self.page_table(owner)  # step 2 (owner-local fine map)
+        page = self.geometry.page_index(addr)
+        offset = self.geometry.page_offset(addr)
+        remote = owner != requester_id
+        dram_offset = table.translate(page, offset, write=write, remote=remote)
+        self.translations += 1
+        self.total_stale_retries += retries
+        return Translation(
+            address=addr,
+            server_id=owner,
+            dram_offset=dram_offset,
+            remote=remote,
+            stale_retries=retries,
+        )
+
+    def owner_of(self, addr: GlobalAddress | int) -> int:
+        """Authoritative owner (no cache) — used by control-plane code."""
+        return self.global_map.owner(GlobalAddress(int(addr)))
+
+    def segments_by_owner(
+        self, addr: GlobalAddress | int, size: int
+    ) -> list[tuple[int, int, int]]:
+        """Split [addr, addr+size) into per-owner runs.
+
+        Returns (owner_server_id, start_address, length) with consecutive
+        same-owner extents merged — the shape the streaming data path
+        wants (one :class:`~repro.hw.cpu.AccessSegment` per run).
+        """
+        if size <= 0:
+            return []
+        start = int(addr)
+        end = start + size
+        out: list[tuple[int, int, int]] = []
+        pos = start
+        while pos < end:
+            extent = self.geometry.extent_index(pos)
+            owner = self.global_map.lookup_extent(extent).server_id
+            run_end = min((extent + 1) * self.geometry.extent_bytes, end)
+            # merge forward while ownership continues
+            while run_end < end:
+                next_extent = self.geometry.extent_index(run_end)
+                if self.global_map.lookup_extent(next_extent).server_id != owner:
+                    break
+                run_end = min((next_extent + 1) * self.geometry.extent_bytes, end)
+            out.append((owner, pos, run_end - pos))
+            pos = run_end
+        return out

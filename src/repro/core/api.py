@@ -1,0 +1,166 @@
+"""The application library (§3.2).
+
+Applications on server *i* open an :class:`LmpSession` against the
+runtime and get the paper's programming model:
+
+* ``alloc`` / ``free`` — buffers in the global pool,
+* ``map`` — bind a buffer into the session's virtual address space
+  ("mapping a range of virtual addresses to memory in the pool"),
+* ``read_v`` / ``write_v`` — access through virtual addresses; the
+  session translates vaddr -> buffer -> logical address -> (server,
+  frame) via the two-step scheme,
+* ``scan`` — a timed full-bandwidth streaming pass with this server's
+  cores (what the microbenchmark does),
+* ``sum_shipped`` — near-memory aggregation via compute shipping,
+* ``spinlock`` / ``ticket_lock`` / ``cohort_lock`` / ``barrier`` —
+  synchronization objects carved from the coherent region.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.core.buffer import Buffer
+from repro.core.coherence.sync import Barrier, CohortLock, SpinLock, TicketLock
+from repro.core.runtime import LmpRuntime
+from repro.errors import AddressError, ConfigError
+from repro.units import mib
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.process import Process
+
+#: sessions' virtual address spaces start here (purely cosmetic, but it
+#: keeps virtual and logical addresses visibly distinct in traces)
+_VBASE = 0x7F00_0000_0000
+
+
+@dataclasses.dataclass(frozen=True)
+class Mapping:
+    """One buffer bound into a session's virtual address space."""
+
+    vaddr: int
+    buffer: Buffer
+
+    @property
+    def end(self) -> int:
+        return self.vaddr + self.buffer.size
+
+
+class LmpSession:
+    """One application's handle, bound to its home server."""
+
+    def __init__(self, runtime: LmpRuntime, server_id: int) -> None:
+        if server_id not in runtime.pool.regions:
+            raise ConfigError(f"server {server_id} is not part of this pool")
+        self.runtime = runtime
+        self.server_id = server_id
+        self._mappings: list[Mapping] = []
+        self._next_vaddr = _VBASE
+
+    # -- allocation --------------------------------------------------------------
+
+    def alloc(self, size: int, name: str = "") -> Buffer:
+        """Allocate pooled memory, placed local-first for this session."""
+        return self.runtime.pool.allocate(size, requester_id=self.server_id, name=name)
+
+    def free(self, buffer: Buffer) -> None:
+        self._mappings = [m for m in self._mappings if m.buffer is not buffer]
+        self.runtime.pool.free(buffer)
+
+    # -- virtual mapping -----------------------------------------------------------
+
+    def map(self, buffer: Buffer) -> Mapping:
+        """Bind *buffer* at the next free virtual address."""
+        mapping = Mapping(vaddr=self._next_vaddr, buffer=buffer)
+        self._next_vaddr += (buffer.size + mib(2) - 1) // mib(2) * mib(2)
+        self._mappings.append(mapping)
+        return mapping
+
+    def unmap(self, mapping: Mapping) -> None:
+        try:
+            self._mappings.remove(mapping)
+        except ValueError:
+            raise AddressError(f"mapping at {mapping.vaddr:#x} is not active") from None
+
+    def _resolve(self, vaddr: int, size: int) -> tuple[Buffer, int]:
+        for mapping in self._mappings:
+            if mapping.vaddr <= vaddr and vaddr + size <= mapping.end:
+                return mapping.buffer, vaddr - mapping.vaddr
+        raise AddressError(f"virtual range [{vaddr:#x}, +{size}) is not mapped")
+
+    # -- data path --------------------------------------------------------------
+
+    def read_v(self, vaddr: int, size: int) -> "Process":
+        """Read through a virtual address; the process returns the bytes."""
+        buffer, offset = self._resolve(vaddr, size)
+        return self.runtime.pool.read(self.server_id, buffer, offset, size)
+
+    def write_v(self, vaddr: int, data: bytes) -> "Process":
+        """Write through a virtual address; the process returns bytes written."""
+        buffer, offset = self._resolve(vaddr, len(data))
+        return self.runtime.pool.write(self.server_id, buffer, offset, data)
+
+    def read(self, buffer: Buffer, offset: int, size: int) -> "Process":
+        return self.runtime.pool.read(self.server_id, buffer, offset, size)
+
+    def write(self, buffer: Buffer, offset: int, data: bytes) -> "Process":
+        return self.runtime.pool.write(self.server_id, buffer, offset, data)
+
+    # -- streaming / compute ------------------------------------------------------
+
+    def scan(self, buffer: Buffer, chunk_bytes: int = mib(32)) -> "Process":
+        """Stream the whole buffer with this server's cores; the process
+        returns the achieved bandwidth in GB/s."""
+        return self.runtime.engine.process(
+            self._scan_body(buffer, chunk_bytes), name="session.scan"
+        )
+
+    def _scan_body(self, buffer: Buffer, chunk_bytes: int):
+        engine = self.runtime.engine
+        server = self.runtime.deployment.server(self.server_id)
+        for core in server.socket.cores:
+            core.chunk_bytes = chunk_bytes
+        shards = buffer.shards(server.socket.core_count)
+        plans = [
+            self.runtime.pool.access_segments(self.server_id, buffer, off, length)
+            for off, length in shards
+        ]
+        started = engine.now
+        procs = server.socket.parallel_stream(plans)
+        yield engine.all_of(procs)
+        duration = engine.now - started
+        return buffer.size / duration if duration else 0.0
+
+    def sum_shipped(self, buffer: Buffer) -> "Process":
+        """Near-memory sum (compute shipping): every byte is read by the
+        server that owns it; the process returns the arithmetic sum of
+        the buffer's bytes."""
+        return self.runtime.compute.map_reduce(
+            buffer,
+            mapper=lambda chunk: sum(chunk),
+            reducer=sum,
+            requester_id=self.server_id,
+        )
+
+    # -- synchronization objects ----------------------------------------------------
+
+    def spinlock(self) -> SpinLock:
+        line = self.runtime.allocate_coherent_lines(1)
+        return SpinLock(self.runtime.coherence, line)
+
+    def ticket_lock(self) -> TicketLock:
+        line = self.runtime.allocate_coherent_lines(2)
+        return TicketLock(self.runtime.coherence, line, line + 1)
+
+    def cohort_lock(self, cohort_limit: int = 8) -> CohortLock:
+        server_ids = sorted(self.runtime.pool.regions)
+        lines_needed = 1 + 2 * len(server_ids)
+        line = self.runtime.allocate_coherent_lines(lines_needed)
+        return CohortLock(
+            self.runtime.coherence, line, server_ids, cohort_limit=cohort_limit
+        )
+
+    def barrier(self, parties: int) -> Barrier:
+        line = self.runtime.allocate_coherent_lines(2)
+        return Barrier(self.runtime.coherence, line, line + 1, parties)

@@ -1,0 +1,206 @@
+"""Shared data structures on coherent memory.
+
+The coherent region exists "for coordination and synchronization"
+(§3.2).  Locks and barriers (:mod:`repro.core.coherence.sync`) are the
+primitives; real systems coordinate through *structures* built on them.
+Three workhorses, all functional (values are real) and timed (every
+operation is protocol traffic):
+
+* :class:`SharedCounter` — fetch-and-add statistics/sequence counter;
+  one atomic per update, no lock.
+* :class:`SeqLock` — optimistic reader/writer coordination: readers
+  retry around odd sequence values instead of taking a lock, so
+  read-mostly metadata (like the pool's coarse global map!) costs no
+  writer blocking.
+* :class:`MessageQueue` — a bounded MPMC ring over coherent lines,
+  the control-plane channel compute shipping and recovery would use.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.coherence.protocol import CoherenceDirectory
+from repro.core.coherence.sync import TicketLock
+from repro.errors import CoherenceError, ConfigError
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.process import Process
+
+_BACKOFF_START = 50.0
+_BACKOFF_CAP = 3200.0
+
+
+class SharedCounter:
+    """A lock-free fetch-and-add counter on one coherent line."""
+
+    def __init__(self, directory: CoherenceDirectory, line: int) -> None:
+        self.directory = directory
+        self.line = line
+
+    def add(self, host: int, amount: int = 1) -> "Process":
+        """Atomically add; the process returns the *previous* value."""
+        return self.directory.engine.process(
+            self._add_body(host, amount), name=f"counter{self.line}.add"
+        )
+
+    def _add_body(self, host: int, amount: int):
+        old, _new = yield self.directory.atomic_rmw(
+            host, self.line, lambda v, a=amount: v + a
+        )
+        return old
+
+    def read(self, host: int) -> "Process":
+        """Coherent read; the process returns the current value."""
+        return self.directory.load(host, self.line)
+
+    def peek(self) -> int:
+        """Test support: the authoritative value, no timing."""
+        return self.directory.peek(self.line)
+
+
+class SeqLock:
+    """Sequence lock over a payload of coherent lines.
+
+    Writers bump the sequence to odd, update the payload, bump to even.
+    Readers snapshot the sequence, read the payload, and retry if the
+    sequence was odd or changed — no writer blocking, which is why
+    read-mostly structures (statistics blocks, coarse maps) use them.
+    """
+
+    def __init__(
+        self, directory: CoherenceDirectory, seq_line: int, payload_lines: _t.Sequence[int]
+    ) -> None:
+        if not payload_lines:
+            raise ConfigError("seqlock needs at least one payload line")
+        if seq_line in payload_lines:
+            raise ConfigError("sequence line must not overlap the payload")
+        self.directory = directory
+        self.seq_line = seq_line
+        self.payload_lines = tuple(payload_lines)
+        self.read_retries = 0
+        self.writes = 0
+
+    def write(self, host: int, values: _t.Sequence[int]) -> "Process":
+        """Publish a new payload atomically w.r.t. readers."""
+        if len(values) != len(self.payload_lines):
+            raise ConfigError(
+                f"payload has {len(self.payload_lines)} lines, got {len(values)} values"
+            )
+        return self.directory.engine.process(
+            self._write_body(host, tuple(values)), name="seqlock.write"
+        )
+
+    def _write_body(self, host: int, values: tuple[int, ...]):
+        # enter: make the sequence odd
+        old, seq = yield self.directory.atomic_rmw(
+            host, self.seq_line, lambda v: v + 1
+        )
+        if seq % 2 == 0:
+            raise CoherenceError("concurrent seqlock writers (serialize them)")
+        for line, value in zip(self.payload_lines, values):
+            yield self.directory.store(host, line, value)
+        yield self.directory.atomic_rmw(host, self.seq_line, lambda v: v + 1)
+        self.writes += 1
+        return seq + 1
+
+    def read(self, host: int) -> "Process":
+        """Consistent snapshot; the process returns the payload tuple."""
+        return self.directory.engine.process(self._read_body(host), name="seqlock.read")
+
+    def _read_body(self, host: int):
+        engine = self.directory.engine
+        backoff = _BACKOFF_START
+        while True:
+            seq_before = yield self.directory.load(host, self.seq_line)
+            if seq_before % 2 == 0:
+                values = []
+                for line in self.payload_lines:
+                    value = yield self.directory.load(host, line)
+                    values.append(value)
+                seq_after = yield self.directory.load(host, self.seq_line)
+                if seq_after == seq_before:
+                    return tuple(values)
+            self.read_retries += 1
+            yield engine.timeout(backoff)
+            backoff = min(backoff * 2.0, _BACKOFF_CAP)
+
+
+class MessageQueue:
+    """A bounded MPMC queue over coherent memory.
+
+    Layout: one ticket lock (2 lines) + head + tail counters (2 lines)
+    + ``capacity`` slot lines.  Slots carry integers (handles/opcodes —
+    bulk payloads belong in the non-coherent pool, with the queue
+    carrying their logical addresses, exactly how a real LMP runtime
+    would pass work descriptors).
+    """
+
+    LINES_FOR_CONTROL = 4  # ticket(2) + head + tail
+
+    def __init__(
+        self, directory: CoherenceDirectory, base_line: int, capacity: int
+    ) -> None:
+        if capacity < 1:
+            raise ConfigError(f"queue capacity must be >= 1, got {capacity}")
+        self.directory = directory
+        self.capacity = capacity
+        self._lock = TicketLock(directory, base_line, base_line + 1)
+        self._head_line = base_line + 2
+        self._tail_line = base_line + 3
+        self._slot_base = base_line + 4
+        self.lines_used = self.LINES_FOR_CONTROL + capacity
+        self.enqueues = 0
+        self.dequeues = 0
+        self.full_retries = 0
+        self.empty_retries = 0
+
+    def put(self, host: int, value: int) -> "Process":
+        """Enqueue (blocking while full); the process returns the slot index."""
+        return self.directory.engine.process(self._put_body(host, value), name="mq.put")
+
+    def _put_body(self, host: int, value: int):
+        engine = self.directory.engine
+        backoff = _BACKOFF_START
+        while True:
+            yield self._lock.acquire(host)
+            head = yield self.directory.load(host, self._head_line)
+            tail = yield self.directory.load(host, self._tail_line)
+            if tail - head < self.capacity:
+                slot = tail % self.capacity
+                yield self.directory.store(host, self._slot_base + slot, value)
+                yield self.directory.store(host, self._tail_line, tail + 1)
+                yield self._lock.release(host)
+                self.enqueues += 1
+                return slot
+            yield self._lock.release(host)
+            self.full_retries += 1
+            yield engine.timeout(backoff)
+            backoff = min(backoff * 2.0, _BACKOFF_CAP)
+
+    def get(self, host: int) -> "Process":
+        """Dequeue (blocking while empty); the process returns the value."""
+        return self.directory.engine.process(self._get_body(host), name="mq.get")
+
+    def _get_body(self, host: int):
+        engine = self.directory.engine
+        backoff = _BACKOFF_START
+        while True:
+            yield self._lock.acquire(host)
+            head = yield self.directory.load(host, self._head_line)
+            tail = yield self.directory.load(host, self._tail_line)
+            if tail > head:
+                slot = head % self.capacity
+                value = yield self.directory.load(host, self._slot_base + slot)
+                yield self.directory.store(host, self._head_line, head + 1)
+                yield self._lock.release(host)
+                self.dequeues += 1
+                return value
+            yield self._lock.release(host)
+            self.empty_retries += 1
+            yield engine.timeout(backoff)
+            backoff = min(backoff * 2.0, _BACKOFF_CAP)
+
+    def depth(self) -> int:
+        """Test support: current occupancy, no timing."""
+        return self.directory.peek(self._tail_line) - self.directory.peek(self._head_line)

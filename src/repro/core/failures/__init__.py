@@ -1,0 +1,34 @@
+"""Failure domains (§5 "Failure domains").
+
+"With LMPs, memory failures come from host crashes ... To handle
+failures, LMPs can take advantage of similar solutions proposed for
+physical pools, such as failure masking through replication or erasure
+coding [Carbink], or failure reporting to application through
+exceptions."
+
+* :mod:`repro.core.failures.erasure` — systematic Reed–Solomon codes
+  over GF(256) (the Carbink approach), built from scratch.
+* :mod:`repro.core.failures.replication` — primary/backup replicated
+  buffers with anti-affine placement.
+* :mod:`repro.core.failures.detector` — heartbeat failure detection on
+  the simulated clock.
+* :mod:`repro.core.failures.recovery` — reconstruction of a crashed
+  server's pooled bytes onto the survivors, with cost accounting.
+
+Unprotected buffers surface :class:`~repro.errors.MemoryFailureError`
+on access — the "failure reporting" alternative.
+"""
+
+from repro.core.failures.detector import FailureDetector
+from repro.core.failures.erasure import ReedSolomon
+from repro.core.failures.recovery import RecoveryManager, RecoveryReport
+from repro.core.failures.replication import ErasureCodedBuffer, ReplicatedBuffer
+
+__all__ = [
+    "ErasureCodedBuffer",
+    "FailureDetector",
+    "RecoveryManager",
+    "RecoveryReport",
+    "ReedSolomon",
+    "ReplicatedBuffer",
+]

@@ -1,0 +1,92 @@
+"""Heartbeat failure detection.
+
+Every server is expected to heartbeat each *interval*; a monitor marks
+a server failed after *miss_threshold* consecutive missed beats.  The
+detector runs on the simulated clock, so detection latency (interval x
+threshold, plus phase) is a measured quantity the recovery bench can
+report, not an assumption.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import ConfigError
+from repro.topology.builder import Deployment
+from repro.units import ms
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.process import Process
+
+
+@dataclasses.dataclass(frozen=True)
+class Detection:
+    """One confirmed failure."""
+
+    server_id: int
+    detected_at: float
+    missed_beats: int
+
+
+class FailureDetector:
+    """Centralized heartbeat monitor."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        interval: float = ms(10),
+        miss_threshold: int = 3,
+    ) -> None:
+        if interval <= 0:
+            raise ConfigError(f"interval must be positive, got {interval}")
+        if miss_threshold < 1:
+            raise ConfigError(f"miss_threshold must be >= 1, got {miss_threshold}")
+        self.deployment = deployment
+        self.engine = deployment.engine
+        self.interval = interval
+        self.miss_threshold = miss_threshold
+        self.detections: dict[int, Detection] = {}
+        self._missed: dict[int, int] = {s.server_id: 0 for s in deployment.servers}
+        self._callbacks: list[_t.Callable[[Detection], None]] = []
+
+    def on_failure(self, callback: _t.Callable[[Detection], None]) -> None:
+        """Register a callback fired at detection time (e.g. kick recovery)."""
+        self._callbacks.append(callback)
+
+    def monitor(self, duration: float) -> "Process":
+        """Watch for *duration* ns; the process returns the detections
+        made during the window."""
+        return self.engine.process(self._monitor_body(duration), name="detector")
+
+    def _monitor_body(self, duration: float):
+        ticks = max(1, int(duration // self.interval))
+        found: list[Detection] = []
+        for _tick in range(ticks):
+            yield self.engine.timeout(self.interval)
+            for server in self.deployment.servers:
+                sid = server.server_id
+                if sid in self.detections:
+                    continue
+                if server.alive:
+                    self._missed[sid] = 0  # heartbeat arrived
+                    continue
+                self._missed[sid] += 1
+                if self._missed[sid] >= self.miss_threshold:
+                    detection = Detection(
+                        server_id=sid,
+                        detected_at=self.engine.now,
+                        missed_beats=self._missed[sid],
+                    )
+                    self.detections[sid] = detection
+                    found.append(detection)
+                    for callback in self._callbacks:
+                        callback(detection)
+        return found
+
+    def detection_latency(self, server_id: int, crash_time: float) -> float:
+        """ns between the crash and its confirmation."""
+        detection = self.detections.get(server_id)
+        if detection is None:
+            raise ConfigError(f"server {server_id} was never detected as failed")
+        return detection.detected_at - crash_time

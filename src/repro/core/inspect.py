@@ -1,0 +1,132 @@
+"""Operator introspection: what is the pool doing right now?
+
+A deployment running for hours of simulated time accumulates state an
+operator needs to see: per-server region splits and utilization,
+extent ownership distribution, buffer inventory, translation health,
+migration history.  ``describe_pool`` gathers it into one structured
+snapshot, and ``render_pool`` prints the dashboards the examples show.
+
+Everything here is read-only and cheap — safe to call from background
+loops or test assertions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.analysis.report import format_table
+from repro.core.pool import LogicalMemoryPool
+from repro.units import fmt_size
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerSnapshot:
+    """One server's region and ownership state."""
+
+    server_id: int
+    alive: bool
+    private_bytes: int
+    coherent_bytes: int
+    shared_bytes: int
+    shared_used_bytes: int
+    extents_owned: int
+    resize_events: int
+
+    @property
+    def shared_utilization(self) -> float:
+        if self.shared_bytes == 0:
+            return 0.0
+        return self.shared_used_bytes / self.shared_bytes
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolSnapshot:
+    """A point-in-time view of a logical pool."""
+
+    taken_at: float
+    servers: tuple[ServerSnapshot, ...]
+    buffer_count: int
+    buffer_bytes: int
+    pooled_bytes: int
+    pooled_free_bytes: int
+    map_generation: int
+    map_lookups: int
+    translations: int
+    stale_retries: int
+
+    @property
+    def pool_utilization(self) -> float:
+        if self.pooled_bytes == 0:
+            return 0.0
+        return (self.pooled_bytes - self.pooled_free_bytes) / self.pooled_bytes
+
+    def imbalance(self) -> float:
+        """Max/mean ratio of per-server shared usage (1.0 = perfectly
+        even) — the signal a capacity balancer would watch."""
+        used = [s.shared_used_bytes for s in self.servers if s.alive]
+        if not used or sum(used) == 0:
+            return 1.0
+        mean = sum(used) / len(used)
+        return max(used) / mean if mean else 1.0
+
+
+def describe_pool(pool: LogicalMemoryPool) -> PoolSnapshot:
+    """Collect a snapshot of *pool*'s current state."""
+    servers = []
+    for sid in sorted(pool.regions):
+        region = pool.regions[sid]
+        servers.append(
+            ServerSnapshot(
+                server_id=sid,
+                alive=pool.deployment.server(sid).alive,
+                private_bytes=region.private_bytes,
+                coherent_bytes=region.coherent_bytes,
+                shared_bytes=region.shared_bytes,
+                shared_used_bytes=region.shared_used_bytes,
+                extents_owned=len(pool.translator.global_map.extents_of(sid)),
+                resize_events=region.resize_events,
+            )
+        )
+    live_buffers = pool.live_buffers
+    return PoolSnapshot(
+        taken_at=pool.engine.now,
+        servers=tuple(servers),
+        buffer_count=len(live_buffers),
+        buffer_bytes=sum(b.size for b in live_buffers),
+        pooled_bytes=pool.pooled_bytes,
+        pooled_free_bytes=pool.pooled_free_bytes,
+        map_generation=pool.translator.global_map.generation,
+        map_lookups=pool.translator.global_map.lookups,
+        translations=pool.translator.translations,
+        stale_retries=pool.translator.total_stale_retries,
+    )
+
+
+def render_pool(pool: LogicalMemoryPool, title: str = "pool state") -> str:
+    """A printable dashboard of the snapshot."""
+    snapshot = describe_pool(pool)
+    rows: list[_t.Sequence[_t.Any]] = []
+    for server in snapshot.servers:
+        rows.append(
+            (
+                f"server{server.server_id}" + ("" if server.alive else " (DOWN)"),
+                fmt_size(server.private_bytes),
+                fmt_size(server.shared_bytes),
+                f"{server.shared_utilization:.0%}",
+                server.extents_owned,
+                server.resize_events,
+            )
+        )
+    table = format_table(
+        ["server", "private", "shared", "shared used", "extents", "resizes"],
+        rows,
+        title=title,
+    )
+    summary = (
+        f"buffers: {snapshot.buffer_count} ({fmt_size(snapshot.buffer_bytes)}) | "
+        f"pool: {fmt_size(snapshot.pooled_bytes)} at "
+        f"{snapshot.pool_utilization:.0%} | imbalance: {snapshot.imbalance():.2f} | "
+        f"map gen {snapshot.map_generation}, {snapshot.stale_retries} stale retries"
+    )
+    return table + "\n" + summary

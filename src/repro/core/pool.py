@@ -1,0 +1,789 @@
+"""Memory pools: the logical pool (the paper's proposal) and the
+physical pool baselines it is evaluated against.
+
+All pools share one API:
+
+* :meth:`MemoryPool.allocate` / :meth:`MemoryPool.free` — buffers in a
+  global logical address space,
+* :meth:`MemoryPool.access_segments` — the *performance* data path: turn
+  a buffer range into the chain-of-capacities segments a
+  :class:`~repro.hw.cpu.Core` streams (who owns the bytes, what fabric
+  hops they cross, at what loaded latency),
+* :meth:`MemoryPool.read` / :meth:`MemoryPool.write` — the *functional*
+  data path moving real bytes (used by the correctness tests, the
+  KV-store workload, and the failure-recovery machinery).
+
+The differences between the three §4.1 configurations live entirely in
+how these methods resolve:
+
+====================  =========================  =============================
+                      LogicalMemoryPool          PhysicalMemoryPool
+====================  =========================  =============================
+bytes live in         servers' shared regions    the pool box
+local accesses        whenever the extent         never (pool is always
+                      resolves to the requester   across the fabric)
+allocation limit      sum of shared regions       pool box capacity
+                      (flexible, §4.5)            (fixed at deployment)
+caching               n/a (already local)         optional local page cache
+                                                  (the "Physical cache" setup)
+====================  =========================  =============================
+"""
+
+from __future__ import annotations
+
+import abc
+import typing as _t
+
+from repro.core.addressing import AddressTranslator
+from repro.core.buffer import Buffer
+from repro.core.regions import RegionManager
+from repro.errors import (
+    AddressError,
+    CapacityError,
+    ConfigError,
+    InfeasibleWorkloadError,
+    MemoryFailureError,
+    MigrationError,
+)
+from repro.hw.cache import PageCache
+from repro.hw.cpu import AccessSegment
+from repro.mem.allocator import FreeListAllocator
+from repro.mem.interleave import LocalFirstPlacement, PlacementPolicy
+from repro.mem.layout import GlobalAddress, PageGeometry
+from repro.mem.page_table import Protection
+from repro.topology.builder import Deployment
+from repro.topology.specs import DeploymentKind
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.profiling import AccessProfiler
+    from repro.sim.process import Process
+
+
+class MemoryPool(abc.ABC):
+    """Common machinery for every pool flavor."""
+
+    def __init__(self, deployment: Deployment, geometry: PageGeometry | None = None) -> None:
+        self.deployment = deployment
+        self.engine = deployment.engine
+        self.fluid = deployment.fluid
+        self.switch = deployment.switch
+        self.transport = deployment.transport
+        self.geometry = geometry or PageGeometry()
+        self.profiler: "AccessProfiler | None" = None
+        self._buffers: dict[int, Buffer] = {}  # base address -> live buffer
+        self._next_extent = 0
+        self._free_extents: list[int] = []
+
+    # -- logical address space -------------------------------------------------
+
+    def _take_extents(self, count: int) -> list[int]:
+        """Reserve *count* logical extent indices (reusing freed ones)."""
+        taken: list[int] = []
+        while self._free_extents and len(taken) < count:
+            taken.append(self._free_extents.pop())
+        while len(taken) < count:
+            taken.append(self._next_extent)
+            self._next_extent += 1
+        return sorted(taken)
+
+    def _take_contiguous_extents(self, count: int) -> list[int]:
+        """Reserve a contiguous run of extent indices so buffers get
+        contiguous logical addresses (bump allocation; freed runs are
+        reused only when exactly contiguous)."""
+        base = self._next_extent
+        self._next_extent += count
+        return list(range(base, base + count))
+
+    def attach_profiler(self, profiler: "AccessProfiler") -> None:
+        """Register the profiler that access planning feeds."""
+        self.profiler = profiler
+
+    def buffer_at(self, base: GlobalAddress | int) -> Buffer:
+        try:
+            return self._buffers[int(base)]
+        except KeyError:
+            raise AddressError(f"no live buffer at {int(base):#x}") from None
+
+    @property
+    def live_buffers(self) -> list[Buffer]:
+        return [self._buffers[k] for k in sorted(self._buffers)]
+
+    # -- abstract API --------------------------------------------------------
+
+    @abc.abstractmethod
+    def allocate(
+        self,
+        size: int,
+        requester_id: int | None = None,
+        name: str = "",
+    ) -> Buffer:
+        """Allocate *size* bytes of pooled memory; raises
+        :class:`CapacityError` when the pool cannot hold them."""
+
+    @abc.abstractmethod
+    def free(self, buffer: Buffer) -> None:
+        """Release a buffer's backing."""
+
+    @abc.abstractmethod
+    def access_segments(
+        self,
+        requester_id: int,
+        buffer: Buffer,
+        offset: int = 0,
+        size: int | None = None,
+        write: bool = False,
+    ) -> list[AccessSegment]:
+        """Build the streaming plan for one access to [offset, offset+size)."""
+
+    @abc.abstractmethod
+    def read(self, requester_id: int, buffer: Buffer, offset: int, size: int) -> "Process":
+        """Functional read; the returned process yields the bytes."""
+
+    @abc.abstractmethod
+    def write(self, requester_id: int, buffer: Buffer, offset: int, data: bytes) -> "Process":
+        """Functional write; the returned process yields bytes written."""
+
+    @abc.abstractmethod
+    def locality_fraction(self, requester_id: int, buffer: Buffer) -> float:
+        """Fraction of the buffer resolving to *requester_id*'s DRAM."""
+
+    @property
+    @abc.abstractmethod
+    def pooled_bytes(self) -> int:
+        """Total disaggregated capacity."""
+
+    @property
+    @abc.abstractmethod
+    def pooled_free_bytes(self) -> int:
+        """Unallocated disaggregated capacity."""
+
+
+class LogicalMemoryPool(MemoryPool):
+    """The paper's proposal: the pool is the union of per-server shared
+    regions; placement decides which server backs each extent."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        geometry: PageGeometry | None = None,
+        placement: PlacementPolicy | None = None,
+        shared_fraction: float = 1.0,
+        coherent_bytes: int = 0,
+    ) -> None:
+        if deployment.kind is not DeploymentKind.LOGICAL:
+            raise ConfigError(
+                f"LogicalMemoryPool needs a logical deployment, got {deployment.kind.value}"
+            )
+        if not 0.0 < shared_fraction <= 1.0:
+            raise ConfigError(f"shared_fraction must be in (0, 1], got {shared_fraction}")
+        super().__init__(deployment, geometry)
+        self.placement = placement or LocalFirstPlacement()
+        self.translator = AddressTranslator(self.geometry)
+        self.regions: dict[int, RegionManager] = {}
+        page = self.geometry.page_bytes
+        for server in deployment.servers:
+            self.translator.register_server(server.server_id)
+            aligned = server.dram.capacity_bytes // page * page
+            coherent = coherent_bytes // page * page
+            shared = int(server.dram.capacity_bytes * shared_fraction) // page * page
+            shared = min(shared, aligned - coherent)  # leave room for the coherent carve
+            self.regions[server.server_id] = RegionManager(
+                server, self.geometry, shared_bytes=shared, coherent_bytes=coherent
+            )
+        #: extent index -> list of frame offsets backing its pages
+        self._extent_frames: dict[int, list[int]] = {}
+        self._buffer_extents: dict[int, list[int]] = {}
+
+    # -- capacity -----------------------------------------------------------------
+
+    @property
+    def pooled_bytes(self) -> int:
+        return sum(r.shared_bytes for r in self.regions.values())
+
+    @property
+    def pooled_free_bytes(self) -> int:
+        return sum(r.shared_free_bytes for r in self.regions.values())
+
+    def shared_free_by_server(self) -> dict[int, int]:
+        """Free shared capacity per *live* server — a crashed host's
+        memory is gone from the pool (§5 failure domains)."""
+        return {
+            sid: r.shared_free_bytes
+            for sid, r in self.regions.items()
+            if self.deployment.server(sid).alive
+        }
+
+    def potential_free_by_server(self) -> dict[int, int]:
+        """Free shared capacity *plus* private memory each live server
+        could still flex into the pool — what placement sees, since the
+        ratio is dynamic (§4.5)."""
+        return {
+            sid: r.shared_free_bytes + r.growable_bytes()
+            for sid, r in self.regions.items()
+            if self.deployment.server(sid).alive
+        }
+
+    # -- allocate / free --------------------------------------------------------
+
+    def allocate(
+        self,
+        size: int,
+        requester_id: int | None = None,
+        name: str = "",
+        placement: PlacementPolicy | None = None,
+    ) -> Buffer:
+        """Allocate pooled memory.
+
+        *placement* overrides the pool's default policy for this one
+        buffer — e.g. a distributed consumer asks for round-robin while
+        the pool default stays local-first."""
+        if size <= 0:
+            raise CapacityError(f"allocation size must be positive, got {size}")
+        extent_bytes = self.geometry.extent_bytes
+        extent_count = -(-size // extent_bytes)
+        potential = self.potential_free_by_server()
+        if extent_count * extent_bytes > sum(potential.values()):
+            raise InfeasibleWorkloadError(
+                f"buffer of {size} bytes needs {extent_count} extents "
+                f"({extent_count * extent_bytes} bytes); pool can offer at "
+                f"most {sum(potential.values())}"
+            )
+        policy = placement or self.placement
+        owners = policy.place(extent_count, extent_bytes, potential, requester_id)
+        extents = self._take_contiguous_extents(extent_count)
+        pages_per_extent = self.geometry.pages_per_extent
+        for extent_index, owner in zip(extents, owners):
+            # the ratio is dynamic: flex private memory into the shared
+            # region on demand (§4.5)
+            self.regions[owner].ensure_shared_free(extent_bytes)
+            frames = self.regions[owner].allocate_frames(pages_per_extent)
+            self.translator.global_map.claim(extent_index, owner)
+            table = self.translator.page_table(owner)
+            first_page = extent_index * pages_per_extent
+            for page_index, frame in zip(range(first_page, first_page + pages_per_extent), frames):
+                table.map_page(page_index, frame, Protection.RW)
+            self._extent_frames[extent_index] = frames
+        base = GlobalAddress(extents[0] * extent_bytes)
+        buffer = Buffer(base=base, size=size, geometry=self.geometry, name=name)
+        self._buffers[base.value] = buffer
+        self._buffer_extents[base.value] = extents
+        return buffer
+
+    def free(self, buffer: Buffer) -> None:
+        extents = self._buffer_extents.pop(buffer.base.value, None)
+        if extents is None:
+            raise AddressError(f"buffer {buffer!r} is not live in this pool")
+        pages_per_extent = self.geometry.pages_per_extent
+        for extent_index in extents:
+            owner = self.translator.global_map.lookup_extent(extent_index).server_id
+            table = self.translator.page_table(owner)
+            first_page = extent_index * pages_per_extent
+            for page_index in range(first_page, first_page + pages_per_extent):
+                table.unmap_page(page_index)
+            self.regions[owner].free_frames(self._extent_frames.pop(extent_index))
+            self.translator.global_map.release(extent_index)
+            self._free_extents.append(extent_index)
+        del self._buffers[buffer.base.value]
+        buffer.freed = True
+
+    # -- performance data path ------------------------------------------------------
+
+    def access_segments(
+        self,
+        requester_id: int,
+        buffer: Buffer,
+        offset: int = 0,
+        size: int | None = None,
+        write: bool = False,
+    ) -> list[AccessSegment]:
+        size = buffer.size - offset if size is None else size
+        addr, _ = buffer.slice_addresses(offset, size)
+        requester = self.deployment.server(requester_id)
+        segments: list[AccessSegment] = []
+        for owner, start, length in self.translator.segments_by_owner(addr, size):
+            owner_server = self.deployment.server(owner)
+            if not owner_server.alive:
+                raise MemoryFailureError(
+                    f"extent owner {owner_server.name} is down", server_id=owner
+                )
+            if write:
+                route = self.switch.write_route(requester.name, owner_server.name)
+            else:
+                route = self.switch.read_route(requester.name, owner_server.name)
+            segments.append(
+                AccessSegment(
+                    path=route.path,
+                    nbytes=length,
+                    latency_fn=route.latency_fn,
+                    label="local" if owner == requester_id else f"remote{owner}",
+                )
+            )
+            if self.profiler is not None:
+                # attribute bytes to each extent the run covers, so the
+                # balancer sees per-extent heat rather than run-start heat
+                for extent_index in self.geometry.extents_covering(start, length):
+                    extent_start = extent_index * self.geometry.extent_bytes
+                    extent_end = extent_start + self.geometry.extent_bytes
+                    covered = min(extent_end, start + length) - max(extent_start, start)
+                    self.profiler.record(
+                        requester_id,
+                        extent_index,
+                        covered,
+                        remote=owner != requester_id,
+                    )
+        return segments
+
+    def locality_fraction(self, requester_id: int, buffer: Buffer) -> float:
+        local = 0
+        for owner, _start, length in self.translator.segments_by_owner(
+            buffer.base, buffer.size
+        ):
+            if owner == requester_id:
+                local += length
+        return local / buffer.size
+
+    def extents_by_owner(self, buffer: Buffer) -> dict[int, list[int]]:
+        """owner server -> extent indices of this buffer (for compute
+        shipping's shard discovery)."""
+        out: dict[int, list[int]] = {}
+        for extent_index in self._buffer_extents[buffer.base.value]:
+            owner = self.translator.global_map.lookup_extent(extent_index).server_id
+            out.setdefault(owner, []).append(extent_index)
+        return out
+
+    # -- functional data path ----------------------------------------------------
+
+    def read(self, requester_id: int, buffer: Buffer, offset: int, size: int) -> "Process":
+        addr, _ = buffer.slice_addresses(offset, size)
+        return self.engine.process(
+            self._read_body(requester_id, addr, size), name="lmp.read"
+        )
+
+    def _read_body(self, requester_id: int, addr: GlobalAddress, size: int):
+        requester = self.deployment.server(requester_id)
+        chunks: list[bytes] = []
+        pos = int(addr)
+        end = pos + size
+        while pos < end:
+            page_take = self.geometry.page_bytes - self.geometry.page_offset(pos)
+            take = min(page_take, end - pos)
+            translation = self.translator.translate(requester_id, pos, write=False)
+            owner_server = self.deployment.server(translation.server_id)
+            if not owner_server.alive:
+                raise MemoryFailureError(
+                    f"read touched crashed server {owner_server.name}",
+                    server_id=translation.server_id,
+                )
+            if self.profiler is not None:
+                self.profiler.record(
+                    requester_id,
+                    self.geometry.extent_index(pos),
+                    take,
+                    remote=translation.remote,
+                )
+            data = yield self.transport.read(
+                requester.name, owner_server.name, translation.dram_offset, take
+            )
+            chunks.append(data)
+            pos += take
+        return b"".join(chunks)
+
+    def write(self, requester_id: int, buffer: Buffer, offset: int, data: bytes) -> "Process":
+        addr, _ = buffer.slice_addresses(offset, len(data))
+        return self.engine.process(
+            self._write_body(requester_id, addr, data), name="lmp.write"
+        )
+
+    def _write_body(self, requester_id: int, addr: GlobalAddress, data: bytes):
+        requester = self.deployment.server(requester_id)
+        pos = int(addr)
+        written = 0
+        while written < len(data):
+            page_take = self.geometry.page_bytes - self.geometry.page_offset(pos)
+            take = min(page_take, len(data) - written)
+            translation = self.translator.translate(requester_id, pos, write=True)
+            owner_server = self.deployment.server(translation.server_id)
+            if not owner_server.alive:
+                raise MemoryFailureError(
+                    f"write touched crashed server {owner_server.name}",
+                    server_id=translation.server_id,
+                )
+            if self.profiler is not None:
+                self.profiler.record(
+                    requester_id,
+                    self.geometry.extent_index(pos),
+                    take,
+                    remote=translation.remote,
+                )
+            yield self.transport.write(
+                requester.name,
+                owner_server.name,
+                translation.dram_offset,
+                bytes(data[written : written + take]),
+            )
+            pos += take
+            written += take
+        return written
+
+    # -- migration mechanism (policy lives in repro.core.migration) ----------------
+
+    def migrate_extent(self, extent_index: int, dst_server_id: int) -> "Process":
+        """Move one extent's pages to *dst_server_id*, preserving logical
+        addresses.  Two phases: bulk copy (concurrent writes allowed,
+        tracked via dirty bits), then a bounded re-copy loop and an
+        atomic commit (remap + global-map generation bump)."""
+        return self.engine.process(
+            self._migrate_body(extent_index, dst_server_id),
+            name=f"migrate.ext{extent_index}",
+        )
+
+    def _migrate_body(self, extent_index: int, dst_server_id: int):
+        entry = self.translator.global_map.lookup_extent(extent_index)
+        src_id = entry.server_id
+        if src_id == dst_server_id:
+            return 0
+        src = self.deployment.server(src_id)
+        dst = self.deployment.server(dst_server_id)
+        if not dst.alive:
+            raise MemoryFailureError(f"migration target {dst.name} is down", server_id=dst_server_id)
+        pages_per_extent = self.geometry.pages_per_extent
+        page_bytes = self.geometry.page_bytes
+        first_page = extent_index * pages_per_extent
+        src_table = self.translator.page_table(src_id)
+        self.regions[dst_server_id].ensure_shared_free(self.geometry.extent_bytes)
+        dst_frames = self.regions[dst_server_id].allocate_frames(pages_per_extent)
+
+        # Phase 1: bulk copy every page, clearing dirty bits as we go so
+        # writes racing the copy are detected.
+        page_to_dst: dict[int, int] = {}
+        for page_index, dst_frame in zip(
+            range(first_page, first_page + pages_per_extent), dst_frames
+        ):
+            page_to_dst[page_index] = dst_frame
+            src_entry = src_table.entry(page_index)
+            src_entry.dirty = False
+            yield self.transport.copy(
+                src.name, src_entry.frame_offset, dst.name, dst_frame, page_bytes
+            )
+
+        # Phase 2: bounded re-copy of pages dirtied during phase 1.
+        for _round in range(3):
+            dirty = [
+                p
+                for p in range(first_page, first_page + pages_per_extent)
+                if src_table.entry(p).dirty
+            ]
+            if not dirty:
+                break
+            for page_index in dirty:
+                src_entry = src_table.entry(page_index)
+                src_entry.dirty = False
+                yield self.transport.copy(
+                    src.name,
+                    src_entry.frame_offset,
+                    dst.name,
+                    page_to_dst[page_index],
+                    page_bytes,
+                )
+
+        # Either endpoint may have died while we were copying.  A dead
+        # destination aborts cleanly (the source stays authoritative);
+        # a dead source means the extent's bytes are gone — committing a
+        # zero-filled destination copy would be silent corruption.
+        if not dst.alive:
+            self.regions[dst_server_id].free_frames(dst_frames)
+            raise MigrationError(
+                f"migration of extent {extent_index} aborted: target "
+                f"{dst.name} crashed mid-copy (source copy remains authoritative)"
+            )
+        if not src.alive:
+            self.regions[dst_server_id].free_frames(dst_frames)
+            raise MemoryFailureError(
+                f"extent {extent_index} lost: source {src.name} crashed "
+                "mid-migration before the copy committed",
+                server_id=src_id,
+            )
+
+        # Commit: remap atomically (single simulation instant).
+        dst_table = self.translator.page_table(dst_server_id)
+        src_frames: list[int] = []
+        for page_index in range(first_page, first_page + pages_per_extent):
+            src_entry = src_table.unmap_page(page_index)
+            src_frames.append(src_entry.frame_offset)
+            dst_table.map_page(page_index, page_to_dst[page_index], src_entry.protection)
+        self.regions[src_id].free_frames(src_frames)
+        self.translator.global_map.reassign(extent_index, dst_server_id)
+        self._extent_frames[extent_index] = [
+            page_to_dst[p] for p in range(first_page, first_page + pages_per_extent)
+        ]
+        return pages_per_extent * page_bytes
+
+
+    def relocate_extent_locally(self, extent_index: int) -> "Process":
+        """Move an extent's pages to other frames on the *same* server
+        (compaction), freeing its current frames — how a hot extent
+        escapes a region shrink without losing locality."""
+        return self.engine.process(
+            self._relocate_body(extent_index), name=f"relocate.ext{extent_index}"
+        )
+
+    def _relocate_body(self, extent_index: int):
+        owner = self.translator.global_map.lookup_extent(extent_index).server_id
+        server = self.deployment.server(owner)
+        pages_per_extent = self.geometry.pages_per_extent
+        page_bytes = self.geometry.page_bytes
+        first_page = extent_index * pages_per_extent
+        table = self.translator.page_table(owner)
+        new_frames = self.regions[owner].allocate_frames(pages_per_extent, highest=True)
+        old_frames: list[int] = []
+        for page_index, new_frame in zip(
+            range(first_page, first_page + pages_per_extent), new_frames
+        ):
+            entry = table.entry(page_index)
+            old_frames.append(entry.frame_offset)
+            yield self.transport.copy(
+                server.name, entry.frame_offset, server.name, new_frame, page_bytes
+            )
+            entry.frame_offset = new_frame
+        self.regions[owner].free_frames(old_frames)
+        self._extent_frames[extent_index] = list(new_frames)
+        return pages_per_extent * page_bytes
+
+
+class PhysicalMemoryPool(MemoryPool):
+    """The baseline: pooled bytes live in a separate pool box.
+
+    ``deployment.kind`` selects the §4.1 variant: ``PHYSICAL_CACHE``
+    gives every server a page cache of pooled data in its local DRAM;
+    ``PHYSICAL_NOCACHE`` reads the pool over the fabric every time.
+    """
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        geometry: PageGeometry | None = None,
+        cache_fraction: float = 1.0,
+    ) -> None:
+        if not deployment.kind.is_physical or deployment.pool is None:
+            raise ConfigError(
+                f"PhysicalMemoryPool needs a physical deployment, got {deployment.kind.value}"
+            )
+        if not 0.0 < cache_fraction <= 1.0:
+            raise ConfigError(f"cache_fraction must be in (0, 1], got {cache_fraction}")
+        super().__init__(deployment, geometry)
+        self.pool_device = deployment.pool
+        self._allocator = FreeListAllocator(
+            self.pool_device.dram.capacity_bytes, align=self.geometry.page_bytes
+        )
+        self._buffer_backing: dict[int, _t.Any] = {}
+        self.caches: dict[int, PageCache] = {}
+        if deployment.kind is DeploymentKind.PHYSICAL_CACHE:
+            for server in deployment.servers:
+                cache_bytes = int(server.dram.capacity_bytes * cache_fraction)
+                self.caches[server.server_id] = PageCache(
+                    cache_bytes,
+                    page_bytes=deployment.spec.cache_page_bytes,
+                    name=f"{server.name}.cache",
+                )
+
+    @property
+    def uses_cache(self) -> bool:
+        return bool(self.caches)
+
+    # -- capacity -----------------------------------------------------------------
+
+    @property
+    def pooled_bytes(self) -> int:
+        return self.pool_device.dram.capacity_bytes
+
+    @property
+    def pooled_free_bytes(self) -> int:
+        return self._allocator.bytes_free
+
+    # -- allocate / free --------------------------------------------------------
+
+    def allocate(
+        self,
+        size: int,
+        requester_id: int | None = None,
+        name: str = "",
+        placement: PlacementPolicy | None = None,
+    ) -> Buffer:
+        if placement is not None:
+            raise ConfigError(
+                "physical pools have no placement choice: every byte lives "
+                "in the pool box (the §4.5 inflexibility)"
+            )
+        if size <= 0:
+            raise CapacityError(f"allocation size must be positive, got {size}")
+        if size > self.pooled_free_bytes:
+            raise InfeasibleWorkloadError(
+                f"buffer of {size} bytes does not fit the physical pool "
+                f"({self.pooled_free_bytes} free of {self.pooled_bytes}); "
+                "the pool's capacity is fixed at deployment time — the "
+                "paper's Figure 5 scenario"
+            )
+        try:
+            allocation = self._allocator.allocate(size)
+        except CapacityError as exc:
+            raise InfeasibleWorkloadError(str(exc)) from exc
+        extent_bytes = self.geometry.extent_bytes
+        extent_count = -(-size // extent_bytes)
+        extents = self._take_contiguous_extents(extent_count)
+        base = GlobalAddress(extents[0] * extent_bytes)
+        buffer = Buffer(base=base, size=size, geometry=self.geometry, name=name)
+        self._buffers[base.value] = buffer
+        self._buffer_backing[base.value] = allocation
+        return buffer
+
+    def free(self, buffer: Buffer) -> None:
+        allocation = self._buffer_backing.pop(buffer.base.value, None)
+        if allocation is None:
+            raise AddressError(f"buffer {buffer!r} is not live in this pool")
+        self._allocator.free(allocation)
+        del self._buffers[buffer.base.value]
+        buffer.freed = True
+        # pooled pages cached on servers are now meaningless
+        for cache in self.caches.values():
+            for page_id in range(
+                allocation.offset // cache.page_bytes,
+                -(-allocation.end // cache.page_bytes),
+            ):
+                cache.invalidate(page_id)
+
+    def _pool_offset(self, buffer: Buffer, offset: int) -> int:
+        allocation = self._buffer_backing[buffer.base.value]
+        return allocation.offset + offset
+
+    # -- performance data path ------------------------------------------------------
+
+    def access_segments(
+        self,
+        requester_id: int,
+        buffer: Buffer,
+        offset: int = 0,
+        size: int | None = None,
+        write: bool = False,
+    ) -> list[AccessSegment]:
+        size = buffer.size - offset if size is None else size
+        buffer.slice_addresses(offset, size)  # validates
+        if not self.pool_device.alive:
+            raise MemoryFailureError("the physical pool is down")
+        requester = self.deployment.server(requester_id)
+        if write:
+            route = self.switch.write_route(requester.name, self.pool_device.name)
+        else:
+            route = self.switch.read_route(requester.name, self.pool_device.name)
+
+        cache = self.caches.get(requester_id)
+        if cache is None:
+            segment = AccessSegment(
+                path=route.path,
+                nbytes=size,
+                latency_fn=route.latency_fn,
+                label="pool",
+            )
+            if self.profiler is not None:
+                self.profiler.record(
+                    requester_id, self.geometry.extent_index(buffer.base), size, remote=True
+                )
+            return [segment]
+
+        # Physical cache: misses are filled from the pool into local DRAM
+        # (the upfront memcpy), then served locally; dirty evictions write
+        # back to the pool.
+        pool_offset = self._pool_offset(buffer, offset)
+        outcome = cache.access_range(pool_offset, size, write=write)
+        local_route = self.switch.read_route(requester.name, requester.name)
+        fill_route = self.switch.copy_route(self.pool_device.name, requester.name)
+        segments: list[AccessSegment] = []
+        if outcome.writeback_pages:
+            writeback_route = self.switch.copy_route(requester.name, self.pool_device.name)
+            segments.append(
+                AccessSegment(
+                    path=writeback_route.path,
+                    nbytes=outcome.writeback_pages * cache.page_bytes,
+                    latency_fn=writeback_route.latency_fn,
+                    label="writeback",
+                )
+            )
+        segments.append(
+            AccessSegment(
+                path=local_route.path,
+                nbytes=size,
+                latency_fn=local_route.latency_fn,
+                label="cached",
+                fill_path=fill_route.path if outcome.miss_pages else None,
+                fill_bytes=outcome.miss_pages * cache.page_bytes,
+                fill_latency_fn=fill_route.latency_fn,
+            )
+        )
+        if self.profiler is not None:
+            self.profiler.record(
+                requester_id,
+                self.geometry.extent_index(buffer.base),
+                size,
+                remote=outcome.miss_pages > 0,
+            )
+        return segments
+
+    def locality_fraction(self, requester_id: int, buffer: Buffer) -> float:
+        """Pooled bytes are never local to a server in a physical pool."""
+        return 0.0
+
+    # -- functional data path ----------------------------------------------------
+
+    def read(self, requester_id: int, buffer: Buffer, offset: int, size: int) -> "Process":
+        buffer.slice_addresses(offset, size)
+        return self.engine.process(
+            self._read_body(requester_id, buffer, offset, size), name="pmp.read"
+        )
+
+    def _read_body(self, requester_id: int, buffer: Buffer, offset: int, size: int):
+        if not self.pool_device.alive:
+            raise MemoryFailureError("the physical pool is down")
+        requester = self.deployment.server(requester_id)
+        pool_offset = self._pool_offset(buffer, offset)
+        cache = self.caches.get(requester_id)
+        if cache is not None:
+            outcome = cache.access_range(pool_offset, size)
+            if outcome.miss_pages:
+                # fill the missing pages from the pool (the upfront memcpy)
+                fill_route = self.switch.copy_route(self.pool_device.name, requester.name)
+                yield self.engine.timeout(fill_route.loaded_latency())
+                yield self.fluid.transfer(
+                    fill_route.path,
+                    outcome.miss_pages * cache.page_bytes,
+                    tag="cache.fill",
+                )
+            # serve the bytes from local DRAM at local latency
+            local_route = self.switch.read_route(requester.name, requester.name)
+            yield self.engine.timeout(local_route.loaded_latency())
+            yield self.fluid.transfer(local_route.path, size, tag="cache.read")
+            return self.pool_device.dram.read_bytes(pool_offset, size)
+        data = yield self.transport.read(
+            requester.name, self.pool_device.name, pool_offset, size
+        )
+        return data
+
+    def write(self, requester_id: int, buffer: Buffer, offset: int, data: bytes) -> "Process":
+        buffer.slice_addresses(offset, len(data))
+        return self.engine.process(
+            self._write_body(requester_id, buffer, offset, data), name="pmp.write"
+        )
+
+    def _write_body(self, requester_id: int, buffer: Buffer, offset: int, data: bytes):
+        if not self.pool_device.alive:
+            raise MemoryFailureError("the physical pool is down")
+        requester = self.deployment.server(requester_id)
+        written = yield self.transport.write(
+            requester.name, self.pool_device.name, self._pool_offset(buffer, offset), data
+        )
+        return written
+
+
+def pool_for(deployment: Deployment, **kwargs: _t.Any) -> MemoryPool:
+    """Build the pool flavor matching the deployment's kind."""
+    if deployment.kind is DeploymentKind.LOGICAL:
+        return LogicalMemoryPool(deployment, **kwargs)
+    return PhysicalMemoryPool(deployment, **kwargs)

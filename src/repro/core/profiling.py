@@ -1,0 +1,119 @@
+"""Access profiling: the measurement half of locality balancing (§5).
+
+"We need new mechanisms to identify slow accesses (NUMA systems unmap
+memory to cause page faults, but this is too slow for LMPs) ... a
+simple solution is to use performance counters to profile accesses."
+
+We model per-server performance counters that the data path feeds on
+every planned access: bytes per (requester, extent), split local/remote.
+Counters are *sampled* (1-in-N accounting, like real PMU sampling) so
+the profiler itself stays cheap, and they age by epoch so the balancer
+reacts to recent behaviour rather than all of history.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError
+
+
+@dataclasses.dataclass
+class ExtentStats:
+    """Aged access counters for one (requester, extent) pair."""
+
+    local_bytes: float = 0.0
+    remote_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.local_bytes + self.remote_bytes
+
+    def age(self, decay: float) -> None:
+        self.local_bytes *= decay
+        self.remote_bytes *= decay
+
+
+class AccessProfiler:
+    """Sampled, epoch-aged access counters."""
+
+    def __init__(self, sample_period: int = 1, decay: float = 0.5) -> None:
+        if sample_period < 1:
+            raise ConfigError(f"sample_period must be >= 1, got {sample_period}")
+        if not 0.0 <= decay <= 1.0:
+            raise ConfigError(f"decay must be in [0, 1], got {decay}")
+        self.sample_period = sample_period
+        self.decay = decay
+        self._counter = 0
+        #: (requester_id, extent_index) -> stats
+        self._stats: dict[tuple[int, int], ExtentStats] = {}
+        self.epoch = 0
+        self.samples_taken = 0
+
+    # -- data-path hook -----------------------------------------------------------
+
+    def record(self, requester_id: int, extent_index: int, nbytes: int, remote: bool) -> None:
+        """Called by the pool's access planner for every planned access."""
+        self._counter += 1
+        if self._counter % self.sample_period:
+            return
+        self.samples_taken += 1
+        weight = float(nbytes * self.sample_period)  # unbias the sampling
+        stats = self._stats.setdefault((requester_id, extent_index), ExtentStats())
+        if remote:
+            stats.remote_bytes += weight
+        else:
+            stats.local_bytes += weight
+
+    # -- epoching ---------------------------------------------------------------
+
+    def advance_epoch(self) -> None:
+        """Age every counter; the balancer calls this once per period."""
+        self.epoch += 1
+        dead: list[tuple[int, int]] = []
+        for key, stats in self._stats.items():
+            stats.age(self.decay)
+            if stats.total_bytes < 1.0:
+                dead.append(key)
+        for key in dead:
+            del self._stats[key]
+
+    # -- queries the balancer asks ------------------------------------------------
+
+    def remote_bytes_by_extent(self) -> dict[int, dict[int, float]]:
+        """extent -> {requester -> remote bytes} for extents with remote
+        traffic (the migration candidates)."""
+        out: dict[int, dict[int, float]] = {}
+        for (requester_id, extent_index), stats in self._stats.items():
+            if stats.remote_bytes > 0:
+                out.setdefault(extent_index, {})[requester_id] = stats.remote_bytes
+        return out
+
+    def dominant_consumer(self, extent_index: int) -> tuple[int | None, float]:
+        """The requester with the most remote bytes on this extent and
+        its share of all remote bytes there."""
+        consumers = self.remote_bytes_by_extent().get(extent_index, {})
+        if not consumers:
+            return None, 0.0
+        winner = max(consumers, key=lambda r: (consumers[r], -r))
+        total = sum(consumers.values())
+        return winner, consumers[winner] / total
+
+    def demand_by_server(self) -> dict[int, float]:
+        """Total bytes (local + remote) each requester pushed this epoch —
+        the demand signal the sizing policies consume."""
+        out: dict[int, float] = {}
+        for (requester_id, _extent), stats in self._stats.items():
+            out[requester_id] = out.get(requester_id, 0.0) + stats.total_bytes
+        return out
+
+    def locality_ratio(self, requester_id: int | None = None) -> float:
+        """Fraction of profiled bytes that resolved locally."""
+        local = remote = 0.0
+        for (rid, _extent), stats in self._stats.items():
+            if requester_id is not None and rid != requester_id:
+                continue
+            local += stats.local_bytes
+            remote += stats.remote_bytes
+        total = local + remote
+        return local / total if total else 1.0

@@ -1,0 +1,245 @@
+"""Per-server private/shared/coherent region management.
+
+"We logically partition each server's memory into private and shared
+regions, where the union of all shared regions constitute the
+disaggregated memory" (§1).  The split is *dynamic*: "the division of
+private and shared regions on each server can vary over time and per
+server" (§1) — that flexibility is Benefit 4 and the reason the 96 GB
+vector of Figure 5 runs at all.
+
+Layout within one server's DRAM (offsets grow left to right)::
+
+    0 ............................................ capacity
+    [ private ....... ][ coherent ][ shared ............ ]
+                       ^ boundary moves as the split flexes
+
+The shared region hands out page *frames* (not necessarily contiguous —
+the page table, not physical adjacency, provides contiguity).  Shrinking
+the shared region requires the frames beyond the new boundary to be
+free; occupied ones must be migrated away first, which is exactly the
+coupling between the sizing policy and the locality balancer that §5
+describes.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import AllocationError, CapacityError, ConfigError
+from repro.mem.layout import PageGeometry, Region, RegionKind
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hw.server import Server
+
+
+class RegionManager:
+    """Owns one server's DRAM split and its shared-region frame pool."""
+
+    def __init__(
+        self,
+        server: "Server",
+        geometry: PageGeometry,
+        shared_bytes: int,
+        coherent_bytes: int = 0,
+    ) -> None:
+        page = geometry.page_bytes
+        # Work within the page-aligned prefix of the DRAM; the sub-page
+        # tail (capacity % page) stays permanently private.
+        capacity = server.dram.capacity_bytes // page * page
+        shared_bytes = min(shared_bytes, capacity) // page * page
+        coherent_bytes = coherent_bytes // page * page
+        if shared_bytes + coherent_bytes > capacity:
+            raise CapacityError(
+                f"shared {shared_bytes} + coherent {coherent_bytes} exceed "
+                f"server DRAM {capacity}"
+            )
+        self.server = server
+        self.geometry = geometry
+        self.capacity_bytes = capacity
+        self.coherent_bytes = coherent_bytes
+        #: DRAM offset where the shared region starts (frames >= boundary)
+        self._boundary = capacity - shared_bytes
+        self._coherent_start = self._boundary - coherent_bytes
+        #: free frames in the shared region, as DRAM offsets
+        self._free_frames: set[int] = set(
+            range(self._boundary, capacity, page)
+        )
+        self._used_frames: set[int] = set()
+        self.resize_events = 0
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def page_bytes(self) -> int:
+        return self.geometry.page_bytes
+
+    @property
+    def shared_bytes(self) -> int:
+        return self.capacity_bytes - self._boundary
+
+    @property
+    def private_bytes(self) -> int:
+        return self._coherent_start
+
+    @property
+    def shared_free_bytes(self) -> int:
+        return len(self._free_frames) * self.page_bytes
+
+    @property
+    def shared_used_bytes(self) -> int:
+        return len(self._used_frames) * self.page_bytes
+
+    def regions(self) -> list[Region]:
+        """The current split as region descriptors."""
+        out = [
+            Region(self.server.server_id, RegionKind.PRIVATE, 0, self.private_bytes)
+        ]
+        if self.coherent_bytes:
+            out.append(
+                Region(
+                    self.server.server_id,
+                    RegionKind.COHERENT,
+                    self._coherent_start,
+                    self.coherent_bytes,
+                )
+            )
+        out.append(
+            Region(
+                self.server.server_id,
+                RegionKind.SHARED,
+                self._boundary,
+                self.shared_bytes,
+            )
+        )
+        return out
+
+    # -- frame pool --------------------------------------------------------------
+
+    def allocate_frames(self, count: int, highest: bool = False) -> list[int]:
+        """Take *count* free frames (lowest offsets first, deterministic).
+
+        ``highest=True`` takes the top of the region instead — used by
+        local compaction to move pages *away* from the boundary a
+        shrink is about to reclaim."""
+        if count < 0:
+            raise AllocationError(f"negative frame count {count}")
+        if count > len(self._free_frames):
+            raise AllocationError(
+                f"server {self.server.server_id}: need {count} frames, "
+                f"{len(self._free_frames)} free"
+            )
+        ordered = sorted(self._free_frames, reverse=highest)
+        frames = ordered[:count]
+        for frame in frames:
+            self._free_frames.discard(frame)
+            self._used_frames.add(frame)
+        return frames
+
+    def free_frames(self, frames: _t.Iterable[int]) -> None:
+        for frame in frames:
+            if frame not in self._used_frames:
+                raise AllocationError(
+                    f"server {self.server.server_id}: frame {frame} not in use"
+                )
+            self._used_frames.discard(frame)
+            self._free_frames.add(frame)
+
+    # -- dynamic resizing (§4.5) ---------------------------------------------------
+
+    def grow_shared(self, nbytes: int) -> None:
+        """Move the boundary down, converting private memory to shared."""
+        page = self.page_bytes
+        if nbytes % page:
+            raise ConfigError(f"grow must be page-aligned, got {nbytes}")
+        if nbytes > self.private_bytes:
+            raise CapacityError(
+                f"cannot grow shared by {nbytes}: only {self.private_bytes} private"
+            )
+        new_boundary = self._boundary - nbytes
+        for frame in range(new_boundary, self._boundary, page):
+            self._free_frames.add(frame)
+        self._boundary = new_boundary
+        self._coherent_start -= nbytes
+        self.resize_events += 1
+
+    def shrink_shared(self, nbytes: int) -> None:
+        """Move the boundary up, returning memory to private use.
+
+        Fails unless every frame being reclaimed is free — callers must
+        evacuate first (see :meth:`frames_blocking_shrink`).
+        """
+        page = self.page_bytes
+        if nbytes % page:
+            raise ConfigError(f"shrink must be page-aligned, got {nbytes}")
+        if nbytes > self.shared_bytes:
+            raise CapacityError(
+                f"cannot shrink shared by {nbytes}: only {self.shared_bytes} shared"
+            )
+        new_boundary = self._boundary + nbytes
+        blockers = [
+            f for f in range(self._boundary, new_boundary, page) if f in self._used_frames
+        ]
+        if blockers:
+            raise CapacityError(
+                f"shrink blocked by {len(blockers)} occupied frames; migrate "
+                "them away first"
+            )
+        for frame in range(self._boundary, new_boundary, page):
+            self._free_frames.discard(frame)
+        self._boundary = new_boundary
+        self._coherent_start += nbytes
+        self.resize_events += 1
+
+    def frames_blocking_shrink(self, nbytes: int) -> list[int]:
+        """Occupied frames that must be evacuated before a shrink."""
+        page = self.page_bytes
+        new_boundary = self._boundary + min(nbytes, self.shared_bytes)
+        return sorted(
+            f for f in range(self._boundary, new_boundary, page) if f in self._used_frames
+        )
+
+    def growable_bytes(self) -> int:
+        """Private memory that could still be flexed into the pool."""
+        return self.private_bytes // self.page_bytes * self.page_bytes
+
+    def ensure_shared_free(self, nbytes: int) -> None:
+        """Grow the shared region (if needed and possible) until at least
+        *nbytes* of shared memory is free — the demand side of the
+        paper's dynamic private/shared ratio."""
+        deficit = nbytes - self.shared_free_bytes
+        if deficit <= 0:
+            return
+        page = self.page_bytes
+        grow = -(-deficit // page) * page
+        if grow > self.private_bytes:
+            raise CapacityError(
+                f"server {self.server.server_id}: cannot free {nbytes} shared "
+                f"bytes (private has only {self.private_bytes})"
+            )
+        self.grow_shared(grow)
+
+    def set_shared_target(self, target_bytes: int) -> int:
+        """Best-effort resize toward *target_bytes* of shared memory.
+
+        Returns the achieved shared size.  Shrinks stop at the first
+        occupied frame (evacuation is the balancer's job, not ours).
+        """
+        page = self.page_bytes
+        target = (target_bytes // page) * page
+        current = self.shared_bytes
+        if target > current:
+            grow = min(target - current, (self.private_bytes // page) * page)
+            if grow:
+                self.grow_shared(grow)
+        elif target < current:
+            want = current - target
+            page_count = want // page
+            achievable = 0
+            for i in range(page_count):
+                frame = self._boundary + i * page
+                if frame in self._used_frames:
+                    break
+                achievable += page
+            if achievable:
+                self.shrink_shared(achievable)
+        return self.shared_bytes

@@ -1,0 +1,381 @@
+"""Shared-region sizing policies (§5 "Sizing the shared regions").
+
+"Oversizing the shared regions can negatively affect performance of
+local workloads if the local memory is monopolized by remote servers.
+On the other hand, undersizing the shared region can render the LMP
+insufficient for the application needs. ... Finding this balance can be
+formulated as a global optimization problem that is solved periodically.
+The objective is to maximize the number of local accesses while
+prioritizing high-value applications."
+
+Three policies, one interface:
+
+* :class:`StaticSizing` — a fixed shared fraction everywhere (the
+  physical pool's rigidity, expressed as an LMP policy; the ablation
+  baseline).
+* :class:`DemandDrivenSizing` — watermark heuristic: grow a server's
+  shared region when pool allocation pressure appears, shrink when the
+  pool is underused and local (private) pressure is high.
+* :class:`GlobalOptimizerSizing` — the paper's formulation: a linear
+  program over (placement x[app, server], shared size s[server]) that
+  maximizes value-weighted local access rate; solved with
+  ``scipy.optimize.linprog``, with a greedy fallback when scipy's
+  solver fails.
+
+The policies are pure planners: they map a demand snapshot to a
+:class:`SizingPlan`.  Applying the plan (region resizes + placement)
+is the runtime's job.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import typing as _t
+
+import numpy as np
+from scipy import optimize
+
+from repro.errors import ConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class AppDemand:
+    """One application's memory demand for the optimizer.
+
+    *home_server* is where its compute runs; *pooled_bytes* is the
+    disaggregated working set it needs placed; *access_rate* weights how
+    hot that data is (bytes/s or any consistent unit); *value* is the
+    business priority the paper says to respect.
+    """
+
+    app_id: str
+    home_server: int
+    pooled_bytes: int
+    access_rate: float = 1.0
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.pooled_bytes < 0 or self.access_rate < 0 or self.value < 0:
+            raise ConfigError(f"demand {self.app_id}: negative quantities")
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerCapacity:
+    """One server's capacity envelope for the optimizer."""
+
+    server_id: int
+    dram_bytes: int
+    private_floor_bytes: int = 0  # memory that must stay private (OS, local apps)
+
+    def __post_init__(self) -> None:
+        if self.private_floor_bytes > self.dram_bytes:
+            raise ConfigError(
+                f"server {self.server_id}: private floor exceeds DRAM"
+            )
+
+    @property
+    def max_shared_bytes(self) -> int:
+        return self.dram_bytes - self.private_floor_bytes
+
+
+@dataclasses.dataclass
+class SizingPlan:
+    """The planner's output."""
+
+    shared_bytes: dict[int, int]
+    placement: dict[str, dict[int, int]]  # app -> {server -> bytes}
+    satisfied: dict[str, bool]
+    objective: float
+
+    def local_fraction(self, demand: AppDemand) -> float:
+        placed = self.placement.get(demand.app_id, {})
+        total = sum(placed.values())
+        if total == 0:
+            return 0.0
+        return placed.get(demand.home_server, 0) / total
+
+    def total_shared(self) -> int:
+        return sum(self.shared_bytes.values())
+
+
+class SizingPolicy(abc.ABC):
+    """Interface: demand snapshot in, plan out."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def plan(
+        self,
+        demands: _t.Sequence[AppDemand],
+        capacities: _t.Sequence[ServerCapacity],
+    ) -> SizingPlan:
+        """Produce shared sizes and a placement for the demands."""
+
+
+class StaticSizing(SizingPolicy):
+    """Fixed shared fraction; placement is local-first greedy.
+
+    With ``shared_fraction`` matching a physical pool's pooled/total
+    ratio, this policy reproduces the physical pool's inflexibility —
+    the ablation's baseline arm.
+    """
+
+    name = "static"
+
+    def __init__(self, shared_fraction: float = 0.5) -> None:
+        if not 0.0 <= shared_fraction <= 1.0:
+            raise ConfigError(f"shared_fraction must be in [0, 1], got {shared_fraction}")
+        self.shared_fraction = shared_fraction
+
+    def plan(
+        self,
+        demands: _t.Sequence[AppDemand],
+        capacities: _t.Sequence[ServerCapacity],
+    ) -> SizingPlan:
+        shared = {
+            cap.server_id: min(
+                int(cap.dram_bytes * self.shared_fraction), cap.max_shared_bytes
+            )
+            for cap in capacities
+        }
+        return _greedy_place(demands, shared)
+
+
+class DemandDrivenSizing(SizingPolicy):
+    """Watermark heuristic: shared size follows observed demand.
+
+    Each server's shared region is sized to the demand routed at it
+    (local apps first), padded by *headroom*, clamped to its envelope.
+    Reacts in one step; no global view, so it can strand capacity that
+    the optimizer would have found — which is exactly what the ablation
+    measures.
+    """
+
+    name = "demand-driven"
+
+    def __init__(self, headroom: float = 0.1) -> None:
+        if headroom < 0:
+            raise ConfigError(f"headroom must be >= 0, got {headroom}")
+        self.headroom = headroom
+
+    def plan(
+        self,
+        demands: _t.Sequence[AppDemand],
+        capacities: _t.Sequence[ServerCapacity],
+    ) -> SizingPlan:
+        max_shared = {cap.server_id: cap.max_shared_bytes for cap in capacities}
+        by_server: dict[int, int] = {sid: 0 for sid in max_shared}
+        for demand in demands:
+            if demand.home_server in by_server:
+                by_server[demand.home_server] += demand.pooled_bytes
+        total_demand = sum(d.pooled_bytes for d in demands)
+        # demand each server can host at home, clamped to its envelope
+        local_fit = {sid: min(by_server[sid], max_shared[sid]) for sid in max_shared}
+        overflow = total_demand - sum(local_fit.values())
+        # waterfill the overflow into the remaining envelopes, evenly
+        remaining = {sid: max_shared[sid] - local_fit[sid] for sid in max_shared}
+        extra = {sid: 0 for sid in max_shared}
+        if overflow > 0:
+            order = sorted(remaining, key=lambda s: (remaining[s], s))
+            left = overflow
+            for i, sid in enumerate(order):
+                quota = left // (len(order) - i)
+                take = min(remaining[sid], quota)
+                extra[sid] = take
+                left -= take
+            for sid in sorted(order, key=lambda s: -(remaining[s] - extra[s])):
+                if left <= 0:
+                    break
+                take = min(remaining[sid] - extra[sid], left)
+                extra[sid] += take
+                left -= take
+        shared: dict[int, int] = {}
+        for cap in capacities:
+            sid = cap.server_id
+            want = int((local_fit[sid] + extra[sid]) * (1.0 + self.headroom))
+            shared[sid] = min(want, cap.max_shared_bytes)
+        return _greedy_place(demands, shared)
+
+
+class GlobalOptimizerSizing(SizingPolicy):
+    """The paper's global optimization, as a linear program.
+
+    Variables (all in GiB for conditioning):
+
+    * ``x[a, i]`` — bytes of app *a* placed on server *i*,
+    * ``s[i]`` — server *i*'s shared-region size.
+
+    Maximize ``sum_a value_a * rate_a * x[a, home_a] / demand_a``
+    (value-weighted local placement) minus a small ``eps * sum_i s[i]``
+    term so shared regions are no larger than needed (the
+    "monopolized by remote servers" cost).  Subject to::
+
+        sum_i x[a, i] == demand_a          (every app fully placed)
+        sum_a x[a, i] <= s[i]              (shared regions hold the data)
+        s[i] <= max_shared_i               (private floors respected)
+        x, s >= 0
+    """
+
+    name = "global-optimizer"
+
+    def __init__(self, shared_cost: float = 1e-4) -> None:
+        if shared_cost < 0:
+            raise ConfigError(f"shared_cost must be >= 0, got {shared_cost}")
+        self.shared_cost = shared_cost
+
+    def plan(
+        self,
+        demands: _t.Sequence[AppDemand],
+        capacities: _t.Sequence[ServerCapacity],
+    ) -> SizingPlan:
+        if not demands or not capacities:
+            return SizingPlan(
+                shared_bytes={c.server_id: 0 for c in capacities},
+                placement={d.app_id: {} for d in demands},
+                satisfied={d.app_id: d.pooled_bytes == 0 for d in demands},
+                objective=0.0,
+            )
+        total_capacity = sum(c.max_shared_bytes for c in capacities)
+        total_demand = sum(d.pooled_bytes for d in demands)
+        if total_demand > total_capacity:
+            # Infeasible as stated; keep the highest-value-density apps.
+            demands = _drop_lowest_value(demands, total_capacity)
+
+        gib = float(1 << 30)
+        servers = [c.server_id for c in capacities]
+        n_apps, n_srv = len(demands), len(servers)
+        n_x = n_apps * n_srv
+        n_vars = n_x + n_srv
+
+        def xi(a: int, i: int) -> int:
+            return a * n_srv + i
+
+        c_vec = np.zeros(n_vars)
+        for a, demand in enumerate(demands):
+            if demand.pooled_bytes == 0:
+                continue
+            home = servers.index(demand.home_server) if demand.home_server in servers else None
+            if home is not None:
+                # minimize negative local value
+                c_vec[xi(a, home)] = -(
+                    demand.value * demand.access_rate / (demand.pooled_bytes / gib)
+                )
+        c_vec[n_x:] = self.shared_cost
+
+        a_eq = np.zeros((n_apps, n_vars))
+        b_eq = np.zeros(n_apps)
+        for a, demand in enumerate(demands):
+            for i in range(n_srv):
+                a_eq[a, xi(a, i)] = 1.0
+            b_eq[a] = demand.pooled_bytes / gib
+
+        a_ub = np.zeros((2 * n_srv, n_vars))
+        b_ub = np.zeros(2 * n_srv)
+        for i, cap in enumerate(capacities):
+            for a in range(n_apps):
+                a_ub[i, xi(a, i)] = 1.0
+            a_ub[i, n_x + i] = -1.0  # sum_a x[a,i] - s_i <= 0
+            b_ub[i] = 0.0
+            a_ub[n_srv + i, n_x + i] = 1.0  # s_i <= max_shared
+            b_ub[n_srv + i] = cap.max_shared_bytes / gib
+
+        result = optimize.linprog(
+            c_vec, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, method="highs"
+        )
+        if not result.success:
+            shared = {c.server_id: c.max_shared_bytes for c in capacities}
+            return _greedy_place(demands, shared)
+
+        solution = result.x
+        shared_bytes = {
+            cap.server_id: int(round(solution[n_x + i] * gib))
+            for i, cap in enumerate(capacities)
+        }
+        placement: dict[str, dict[int, int]] = {}
+        satisfied: dict[str, bool] = {}
+        for a, demand in enumerate(demands):
+            placed = {
+                servers[i]: int(round(solution[xi(a, i)] * gib))
+                for i in range(n_srv)
+                if solution[xi(a, i)] * gib > 1.0
+            }
+            placement[demand.app_id] = placed
+            satisfied[demand.app_id] = (
+                sum(placed.values()) >= demand.pooled_bytes * 0.999
+            )
+        return SizingPlan(
+            shared_bytes=shared_bytes,
+            placement=placement,
+            satisfied=satisfied,
+            objective=float(-result.fun),
+        )
+
+
+def _drop_lowest_value(
+    demands: _t.Sequence[AppDemand], capacity: int
+) -> list[AppDemand]:
+    """Keep the highest value-density apps that fit (paper: "prioritizing
+    high-value applications")."""
+    ranked = sorted(
+        demands,
+        key=lambda d: (-(d.value * d.access_rate), d.app_id),
+    )
+    kept: list[AppDemand] = []
+    used = 0
+    for demand in ranked:
+        if used + demand.pooled_bytes <= capacity:
+            kept.append(demand)
+            used += demand.pooled_bytes
+    return kept
+
+
+def _greedy_place(
+    demands: _t.Sequence[AppDemand], shared: dict[int, int]
+) -> SizingPlan:
+    """Local-first greedy placement into fixed shared sizes, highest
+    value density first."""
+    free = dict(shared)
+    placement: dict[str, dict[int, int]] = {}
+    satisfied: dict[str, bool] = {}
+    objective = 0.0
+    ranked = sorted(
+        demands, key=lambda d: (-(d.value * d.access_rate), d.app_id)
+    )
+    for demand in ranked:
+        need = demand.pooled_bytes
+        placed: dict[int, int] = {}
+        home = demand.home_server
+        if home in free and free[home] > 0 and need > 0:
+            take = min(free[home], need)
+            placed[home] = take
+            free[home] -= take
+            need -= take
+            if demand.pooled_bytes:
+                objective += (
+                    demand.value * demand.access_rate * take / demand.pooled_bytes
+                )
+        for sid in sorted(free):
+            if need <= 0:
+                break
+            if sid == home or free[sid] <= 0:
+                continue
+            take = min(free[sid], need)
+            placed[sid] = take
+            free[sid] -= take
+            need -= take
+        placement[demand.app_id] = placed
+        satisfied[demand.app_id] = need <= 0
+    return SizingPlan(
+        shared_bytes=dict(shared),
+        placement=placement,
+        satisfied=satisfied,
+        objective=objective,
+    )
+
+
+POLICIES: dict[str, type[SizingPolicy]] = {
+    StaticSizing.name: StaticSizing,
+    DemandDrivenSizing.name: DemandDrivenSizing,
+    GlobalOptimizerSizing.name: GlobalOptimizerSizing,
+}

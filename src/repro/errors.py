@@ -1,0 +1,75 @@
+"""Exception hierarchy for the LMP reproduction.
+
+All library errors derive from :class:`ReproError` so applications can
+catch everything from this package with one ``except`` clause.  The
+failure-domain errors (§5 of the paper: "failure reporting to application
+through exceptions") live here too so the public API can raise them
+without importing the failures subpackage.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly or reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """The event loop ran dry while processes were still waiting."""
+
+
+class CapacityError(ReproError):
+    """An allocation cannot be satisfied by the available memory.
+
+    Raised, for example, when the 96 GB vector of Figure 5 is placed on a
+    physical pool whose pooled capacity is only 64 GB.
+    """
+
+
+class AllocationError(CapacityError):
+    """An allocator could not find a suitable free range despite capacity."""
+
+
+class AddressError(ReproError):
+    """A logical or physical address is invalid or cannot be translated."""
+
+
+class ProtectionError(AddressError):
+    """An access violates a region's protection (e.g. writing another
+    server's private region)."""
+
+
+class MigrationError(ReproError):
+    """A buffer migration could not be started or completed."""
+
+
+class CoherenceError(ReproError):
+    """The coherence protocol was driven into an illegal transition."""
+
+
+class MemoryFailureError(ReproError):
+    """An access touched memory lost to a server crash and no redundancy
+    scheme could mask the failure (§5, "failure reporting to application
+    through exceptions")."""
+
+    def __init__(self, message: str, *, server_id: int | None = None) -> None:
+        super().__init__(message)
+        self.server_id = server_id
+
+
+class RecoveryError(ReproError):
+    """Redundant data exists but reconstruction failed (e.g. too many
+    erasures for the Reed-Solomon code parameters)."""
+
+
+class InfeasibleWorkloadError(CapacityError):
+    """A workload cannot run on a deployment at all (Figure 5's physical
+    pool with the 96 GB vector)."""

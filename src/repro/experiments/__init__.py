@@ -1,0 +1,23 @@
+"""Experiment drivers: one per paper artifact.
+
+Each module exposes a ``run(...)`` returning a structured result with a
+``render()`` method; the ``benchmarks/`` harness times them and prints
+the rendered tables (the reproduction's stand-in for the paper's
+figures).  The experiment-to-module map lives in DESIGN.md §3.
+
+=====  ==========================================  =========================
+ID     Paper artifact                              Module
+=====  ==========================================  =========================
+T1     Table 1 (memory latency/bandwidth)          ``table1``
+T2     Table 2 (Link0/Link1 under load)            ``table2``
+F2-F5  Figures 2-5 (vector microbenchmark)         ``figures``
+L1     §4.3 loaded-latency ratios                  ``latency``
+B1     §4.2 cost scenarios                         ``cost``
+B3     §4.4 near-memory computing                  ``nearmem``
+A1     incast ablation                             ``incast``
+A2     sizing-policy ablation                      ``sizing``
+A3     migration ablation                          ``migration``
+A4     coherent-region ablation                    ``coherence``
+A5     failure-recovery ablation                   ``failures``
+=====  ==========================================  =========================
+"""

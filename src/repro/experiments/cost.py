@@ -1,0 +1,54 @@
+"""B1 — §4.2 Benefit 1: lower entry barrier.
+
+Runs the component cost model over the paper's two scenarios (equal
+disaggregated memory, equal total memory) and renders the argument the
+paper makes qualitatively: the physical deployment pays for the pool
+box, the extra switch port(s), the rack space — and in the equal-total
+scenario its servers also end up with less local memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.report import format_table
+from repro.topology.cost import CostBook, ScenarioComparison, compare_scenarios
+from repro.units import gib
+
+
+@dataclasses.dataclass(frozen=True)
+class CostResult:
+    scenario_1: ScenarioComparison
+    scenario_2: ScenarioComparison
+
+    def render(self) -> str:
+        blocks = ["S4.2 Benefit 1: deployment cost comparison"]
+        for scenario in (self.scenario_1, self.scenario_2):
+            lmp = scenario.logical_cost.as_dict()
+            pmp = scenario.physical_cost.as_dict()
+            rows = [
+                (item, lmp[item], pmp[item], pmp[item] - lmp[item])
+                for item in ("dimms", "fabric_adapters", "switch_ports", "rack_space", "pool_hardware", "total")
+            ]
+            blocks.append(
+                format_table(
+                    ["component ($)", "Logical", "Physical", "delta"],
+                    rows,
+                    title=(
+                        f"scenario: {scenario.name} "
+                        f"(physical premium {scenario.physical_premium * 100:.0f}%)"
+                    ),
+                )
+            )
+            local_l, local_p = scenario.local_memory_per_server
+            blocks.append(
+                f"local memory per server: Logical {local_l / gib(1):.0f} GiB vs "
+                f"Physical {local_p / gib(1):.0f} GiB"
+            )
+        return "\n\n".join(blocks)
+
+
+def run(book: CostBook | None = None) -> CostResult:
+    """Cost both scenarios with the (editable) cost book."""
+    scenario_1, scenario_2 = compare_scenarios(book=book)
+    return CostResult(scenario_1=scenario_1, scenario_2=scenario_2)

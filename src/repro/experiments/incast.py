@@ -1,0 +1,96 @@
+"""A1 — incast at the physical pool (§4.2).
+
+"Provisioning the switch<->pool link with the same capacity a
+server<->switch link can create incast problems at the physical pool,
+demanding either a higher-capacity link or multiple links. ... Although
+incast problems are possible with LMPs, they have three ways to prevent
+it: data placement, data migration, and compute shipping."
+
+The sweep: N servers read pooled data concurrently.
+
+* physical pool, width 1 — every byte squeezes through one pool uplink,
+* physical pool, width w — the paper's "thicker link" remedy, at cost,
+* logical pool, data spread — readers hit different servers, aggregate
+  bandwidth scales with N.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.report import format_table
+from repro.fabric.incast import measure_incast
+from repro.topology.builder import build_logical, build_physical
+from repro.units import gib
+
+
+@dataclasses.dataclass(frozen=True)
+class IncastPoint:
+    readers: int
+    physical_w1_gbps: float
+    physical_w2_gbps: float
+    logical_spread_gbps: float
+
+
+@dataclasses.dataclass(frozen=True)
+class IncastResult:
+    link: str
+    points: tuple[IncastPoint, ...]
+
+    def render(self) -> str:
+        return format_table(
+            ["readers", "physical w=1", "physical w=2", "logical spread"],
+            [
+                (p.readers, p.physical_w1_gbps, p.physical_w2_gbps, p.logical_spread_gbps)
+                for p in self.points
+            ],
+            title=f"A1 incast: aggregate GB/s pulling pooled data ({self.link})",
+        )
+
+
+def _physical_aggregate(link: str, readers: int, width: float, per_reader: int) -> float:
+    deployment = build_physical(link, cache=False, pool_link_width=width)
+    servers = deployment.servers[:readers]
+    result = measure_incast(
+        deployment.engine,
+        deployment.fluid,
+        deployment.switch,
+        servers,
+        [deployment.pool_endpoint] * readers,
+        per_reader,
+    )
+    return result.aggregate_gbps
+
+
+def _logical_aggregate(link: str, readers: int, per_reader: int) -> float:
+    deployment = build_logical(link)
+    servers = deployment.servers[:readers]
+    count = len(deployment.servers)
+    # each reader pulls from the next server over: placement has spread
+    # the data so no endpoint is shared
+    targets = [deployment.servers[(i + 1) % count].name for i in range(readers)]
+    result = measure_incast(
+        deployment.engine,
+        deployment.fluid,
+        deployment.switch,
+        servers,
+        targets,
+        per_reader,
+    )
+    return result.aggregate_gbps
+
+
+def run(link: str = "link0", per_reader_gib: int = 2) -> IncastResult:
+    """Sweep reader counts over the three deployments."""
+    per_reader = gib(per_reader_gib)
+    points = []
+    for readers in (1, 2, 3, 4):
+        points.append(
+            IncastPoint(
+                readers=readers,
+                physical_w1_gbps=_physical_aggregate(link, readers, 1.0, per_reader),
+                physical_w2_gbps=_physical_aggregate(link, readers, 2.0, per_reader),
+                logical_spread_gbps=_logical_aggregate(link, readers, per_reader),
+            )
+        )
+    return IncastResult(link=link, points=tuple(points))

@@ -1,0 +1,166 @@
+"""A7 — rack-scale pools over a PBR fabric (§3.2).
+
+"We envision LMPs providing 10–100 TB of shared memory."  One rack of
+servers doesn't get there; cascaded CXL switches with Port-Based
+Routing do.  This experiment builds leaf-spine pods and measures what
+scale-out actually costs:
+
+* **latency tiers** — local vs same-rack (2 hops) vs cross-rack
+  (4 hops through a spine): the NUMA-distance hierarchy placement and
+  migration must respect at scale,
+* **cross-rack bandwidth** — bisection bandwidth as racks are added,
+  for two spine provisioning levels (the incast argument, pod-scale),
+* **capacity ladder** — racks needed for 10 and 100 TB pools, plus the
+  size of the coarse global map at that scale (the §5 translation
+  structure staying "small" is what makes two-step translation viable).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.report import format_table
+from repro.hw.link import LINK_PRESETS
+from repro.mem.layout import PageGeometry
+from repro.topology.multirack import (
+    MultiRackFabric,
+    MultiRackSpec,
+    build_multirack,
+    racks_for_capacity,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyTier:
+    tier: str
+    hops: int
+    dram_ns: float
+    hop_latency_ns: float
+    transfer_64b_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        return self.dram_ns + self.hop_latency_ns + self.transfer_64b_ns
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalePoint:
+    racks: int
+    servers: int
+    pool_tib: float
+    bisection_gbps: float
+    per_server_cross_gbps: float
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiRackResult:
+    spec: MultiRackSpec
+    tiers: tuple[LatencyTier, ...]
+    scale_points: tuple[ScalePoint, ...]
+    racks_for_10tb: int
+    racks_for_100tb: int
+    global_map_entries_100tb: int
+
+    def render(self) -> str:
+        tiers = format_table(
+            ["tier", "hops", "DRAM (ns)", "fabric (ns)", "64B wire (ns)", "total (ns)"],
+            [
+                (t.tier, t.hops, t.dram_ns, t.hop_latency_ns, t.transfer_64b_ns, t.total_ns)
+                for t in self.tiers
+            ],
+            title="A7a access-latency tiers in a leaf-spine LMP pod",
+        )
+        scale = format_table(
+            ["racks", "servers", "pool (TiB)", "bisection GB/s", "cross GB/s per server"],
+            [
+                (p.racks, p.servers, p.pool_tib, p.bisection_gbps, p.per_server_cross_gbps)
+                for p in self.scale_points
+            ],
+            title=(
+                f"A7b scale-out with trunk width {self.spec.trunk_width:g}x "
+                f"({self.spec.servers_per_rack} servers/rack)"
+            ),
+        )
+        capacity = (
+            f"capacity ladder: {self.racks_for_10tb} racks reach 10 TB, "
+            f"{self.racks_for_100tb} racks reach 100 TB; a 100 TB pool's "
+            f"coarse global map holds {self.global_map_entries_100tb:,} extent "
+            "entries (a few MB replicated per server — why two-step "
+            "translation scales)"
+        )
+        return tiers + "\n\n" + scale + "\n\n" + capacity
+
+
+def _latency_tiers(fabric: MultiRackFabric) -> tuple[LatencyTier, ...]:
+    origin, same_rack, cross_rack = fabric.sample_servers()
+    link_rate = LINK_PRESETS[fabric.spec.link].bandwidth
+    dram_ns = 82.0  # every tier ends in a DRAM access (Table 1)
+    tiers = [LatencyTier("local DRAM", 0, dram_ns, 0.0, 64.0 / 97.0)]
+    for tier, peer in (("same rack", same_rack), ("cross rack", cross_rack)):
+        route = fabric.graph.route(origin, peer)
+        tiers.append(
+            LatencyTier(
+                tier=tier,
+                hops=route.hops,
+                dram_ns=dram_ns,
+                hop_latency_ns=route.hop_latency,
+                transfer_64b_ns=64.0 / link_rate,
+            )
+        )
+    return tuple(tiers)
+
+
+def _scale_points(spec: MultiRackSpec, rack_counts: tuple[int, ...]) -> tuple[ScalePoint, ...]:
+    points = []
+    for racks in rack_counts:
+        scaled = dataclasses.replace(spec, racks=racks)
+        fabric = build_multirack(scaled)
+        half = racks // 2
+        if half == 0:
+            points.append(
+                ScalePoint(
+                    racks=racks,
+                    servers=scaled.total_servers,
+                    pool_tib=scaled.pool_capacity_bytes / 2**40,
+                    bisection_gbps=float("inf"),
+                    per_server_cross_gbps=float("inf"),
+                )
+            )
+            continue
+        left = [
+            scaled.server_name(r, s)
+            for r in range(half)
+            for s in range(scaled.servers_per_rack)
+        ]
+        right = [
+            scaled.server_name(r, s)
+            for r in range(half, racks)
+            for s in range(scaled.servers_per_rack)
+        ]
+        bisection = fabric.graph.bisection_bandwidth(left, right)
+        points.append(
+            ScalePoint(
+                racks=racks,
+                servers=scaled.total_servers,
+                pool_tib=scaled.pool_capacity_bytes / 2**40,
+                bisection_gbps=bisection,
+                per_server_cross_gbps=bisection / len(left),
+            )
+        )
+    return tuple(points)
+
+
+def run(spec: MultiRackSpec | None = None) -> MultiRackResult:
+    """Tiers + scale-out + capacity ladder for one pod shape."""
+    spec = spec or MultiRackSpec()
+    fabric = build_multirack(spec)
+    geometry = PageGeometry()
+    hundred_tb = 100 * 10**12
+    return MultiRackResult(
+        spec=spec,
+        tiers=_latency_tiers(fabric),
+        scale_points=_scale_points(spec, (2, 4, 8)),
+        racks_for_10tb=racks_for_capacity(10 * 10**12, spec),
+        racks_for_100tb=racks_for_capacity(hundred_tb, spec),
+        global_map_entries_100tb=hundred_tb // geometry.extent_bytes,
+    )

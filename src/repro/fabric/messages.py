@@ -1,0 +1,115 @@
+"""CXL.mem-style transactions.
+
+CXL defines CXL.io (control), CXL.cache, and CXL.mem (§2.2).  The
+evaluation only exercises the CXL.mem data path plus the
+back-invalidation flow that Shared-FAM hardware coherence uses, so
+those are the messages we define.  Transactions are plain immutable
+records; the transport and the coherence engine interpret them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing as _t
+
+_ids = itertools.count(1)
+
+
+@dataclasses.dataclass(frozen=True)
+class Transaction:
+    """Base record for every fabric message."""
+
+    requester: str
+    target: str
+    tid: int = dataclasses.field(default_factory=lambda: next(_ids))
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+@dataclasses.dataclass(frozen=True)
+class MemRead(Transaction):
+    """CXL.mem MemRd: fetch *size* bytes at *addr* from *target*."""
+
+    addr: int = 0
+    size: int = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class MemReadResponse(Transaction):
+    """Data response carrying the bytes (present only when the target
+    device has a backing store materialized for the range)."""
+
+    addr: int = 0
+    size: int = 64
+    data: bytes | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class MemWrite(Transaction):
+    """CXL.mem MemWr: store *size* bytes at *addr* on *target*."""
+
+    addr: int = 0
+    size: int = 64
+    data: bytes | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class MemWriteResponse(Transaction):
+    """Completion for a MemWrite."""
+
+    addr: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class BackInvalidate(Transaction):
+    """Back-Invalidation: the home/snoop-filter tells a sharer to drop a
+    cached line (the hardware-coherence mechanism §2.2 names)."""
+
+    addr: int = 0
+    size: int = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class BackInvalidateResponse(Transaction):
+    """BIRsp: the sharer acknowledges the invalidation."""
+
+    addr: int = 0
+    dirty: bool = False
+    data: bytes | None = None
+
+
+MESSAGE_TYPES: tuple[type[Transaction], ...] = (
+    MemRead,
+    MemReadResponse,
+    MemWrite,
+    MemWriteResponse,
+    BackInvalidate,
+    BackInvalidateResponse,
+)
+
+
+def is_request(message: Transaction) -> bool:
+    """True for messages that expect a response."""
+    return isinstance(message, (MemRead, MemWrite, BackInvalidate))
+
+
+def is_response(message: Transaction) -> bool:
+    return isinstance(
+        message, (MemReadResponse, MemWriteResponse, BackInvalidateResponse)
+    )
+
+
+def response_type(message: Transaction) -> type[Transaction]:
+    """The response class matching a request."""
+    mapping: dict[type[Transaction], type[Transaction]] = {
+        MemRead: MemReadResponse,
+        MemWrite: MemWriteResponse,
+        BackInvalidate: BackInvalidateResponse,
+    }
+    try:
+        return mapping[type(message)]
+    except KeyError:
+        raise TypeError(f"{message.kind} is not a request") from None

@@ -1,0 +1,139 @@
+"""Port-Based Routing over multi-switch fabrics.
+
+The paper's evaluation uses a single switch, but its §3.2 vision is a
+10–100 TB pool spanning a rack or more, which CXL 3 reaches with
+Port-Based Routing (PBR) across cascaded switches (§2.2).  This module
+models that generalization: a fabric is a graph of switches and
+endpoints; routes are shortest paths; every inter-switch trunk
+contributes a bandwidth constraint and a per-hop latency adder.
+
+Built on networkx so fabric topologies (single switch, fat-tree of
+switches, dual-rail) stay declarative.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import networkx as nx
+
+from repro.errors import ConfigError
+from repro.sim.fluid import Capacity, FluidModel
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+
+@dataclasses.dataclass(frozen=True)
+class FabricRoute:
+    """A resolved multi-hop route."""
+
+    nodes: tuple[str, ...]
+    path: tuple[Capacity, ...]
+    hop_latency: float
+
+    @property
+    def hops(self) -> int:
+        return len(self.nodes) - 1
+
+
+class FabricGraph:
+    """A rack-or-larger CXL fabric as an annotated graph.
+
+    Nodes are endpoint or switch names.  Edges carry one
+    :class:`Capacity` per direction plus a fixed per-hop latency (wire +
+    retimer + switch pipeline — the reason the paper expects CXL fabrics
+    to underperform UPI).
+    """
+
+    def __init__(self, engine: "Engine", fluid: FluidModel) -> None:
+        self.engine = engine
+        self.fluid = fluid
+        self.graph = nx.DiGraph()
+
+    # -- construction ------------------------------------------------------------
+
+    def add_switch(self, name: str, port_count: int = 32) -> None:
+        self._add_node(name, kind="switch", port_count=port_count)
+
+    def add_endpoint(self, name: str) -> None:
+        self._add_node(name, kind="endpoint", port_count=1)
+
+    def _add_node(self, name: str, kind: str, port_count: int) -> None:
+        if name in self.graph:
+            raise ConfigError(f"fabric node {name!r} already exists")
+        self.graph.add_node(name, kind=kind, port_count=port_count, ports_used=0)
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        bandwidth: float,
+        hop_latency: float = 25.0,
+    ) -> None:
+        """Wire *a* and *b* with a full-duplex link of *bandwidth* bytes/ns.
+
+        Consumes one port on each side; switches run out of ports —
+        which is how the cost model counts the physical pool's extra
+        port burn.
+        """
+        for node in (a, b):
+            if node not in self.graph:
+                raise ConfigError(f"unknown fabric node {node!r}")
+            attrs = self.graph.nodes[node]
+            if attrs["ports_used"] >= attrs["port_count"]:
+                raise ConfigError(f"fabric node {node!r} is out of ports")
+        for node in (a, b):
+            self.graph.nodes[node]["ports_used"] += 1
+        self.graph.add_edge(
+            a, b, capacity=Capacity(f"{a}->{b}", bandwidth), hop_latency=hop_latency
+        )
+        self.graph.add_edge(
+            b, a, capacity=Capacity(f"{b}->{a}", bandwidth), hop_latency=hop_latency
+        )
+
+    # -- routing ----------------------------------------------------------------
+
+    def route(self, src: str, dst: str) -> FabricRoute:
+        """Shortest-path PBR route from *src* to *dst* (hop count metric,
+        deterministic tie-break by node name)."""
+        if src not in self.graph or dst not in self.graph:
+            raise ConfigError(f"unknown endpoint in route {src!r} -> {dst!r}")
+        if src == dst:
+            return FabricRoute(nodes=(src,), path=(), hop_latency=0.0)
+        try:
+            nodes = min(
+                nx.all_shortest_paths(self.graph, src, dst),
+                key=lambda p: tuple(p),
+            )
+        except nx.NetworkXNoPath:
+            raise ConfigError(f"no fabric path {src!r} -> {dst!r}") from None
+        caps: list[Capacity] = []
+        latency = 0.0
+        for a, b in zip(nodes, nodes[1:]):
+            edge = self.graph.edges[a, b]
+            caps.append(edge["capacity"])
+            latency += edge["hop_latency"]
+        return FabricRoute(nodes=tuple(nodes), path=tuple(caps), hop_latency=latency)
+
+    def transfer(self, src: str, dst: str, size: float, rate_cap: float = float("inf")):
+        """Move *size* bytes along the PBR route; returns the completion
+        event (fires with the duration)."""
+        route = self.route(src, dst)
+        return self.fluid.transfer(route.path, size, rate_cap=rate_cap, tag=f"{src}->{dst}")
+
+    def bisection_bandwidth(self, group_a: _t.Iterable[str], group_b: _t.Iterable[str]) -> float:
+        """Max-flow bandwidth between two endpoint groups (capacity
+        planning for the 10–100 TB ambition)."""
+        flow_graph = nx.DiGraph()
+        for a, b, data in self.graph.edges(data=True):
+            flow_graph.add_edge(a, b, capacity=data["capacity"].rate)
+        flow_graph.add_node("_src")
+        flow_graph.add_node("_dst")
+        for a in group_a:
+            flow_graph.add_edge("_src", a, capacity=float("inf"))
+        for b in group_b:
+            flow_graph.add_edge(b, "_dst", capacity=float("inf"))
+        value, _flows = nx.maximum_flow(flow_graph, "_src", "_dst")
+        return value

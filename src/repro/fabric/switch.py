@@ -1,0 +1,242 @@
+"""The rack fabric switch.
+
+The switch's job in the model is to answer one question: *what does an
+access from requester R to memory owned by O cross, and at what
+latency?*  The answer is an :class:`AccessRoute` — an ordered chain of
+bandwidth constraints plus a loaded-latency callback — which cores and
+the transport hand to the fluid solver.
+
+Latency semantics follow the paper's tables: a local access is governed
+by the DRAM device's curve (Table 1: 82 ns local), a remote access by
+the fabric link's curve (Table 2: 163–418 ns Link0, 261–527 ns Link1 —
+those measurements already include the remote memory access, so the
+link curve is the end-to-end remote curve).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import ConfigError
+from repro.hw.dram import MemoryDevice
+from repro.hw.link import RemoteLink
+from repro.sim.fluid import Capacity, FluidModel
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessRoute:
+    """Everything needed to move bytes between a requester and memory."""
+
+    path: tuple[Capacity, ...]
+    latency_fn: _t.Callable[[], float]
+    remote: bool
+    description: str = ""
+
+    def loaded_latency(self) -> float:
+        return self.latency_fn()
+
+
+@dataclasses.dataclass
+class _Port:
+    """One switch port: an attached endpoint with its link and memory."""
+
+    name: str
+    link: RemoteLink
+    device: MemoryDevice | None
+
+
+class FabricSwitch:
+    """A single non-blocking rack switch with PBR-style port lookup.
+
+    ``backplane_rate`` optionally bounds aggregate cross-switch traffic;
+    by default the switch is non-blocking (per-port limits only), like
+    the paper's assumed CXL fabric switch.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        fluid: FluidModel,
+        name: str = "switch",
+        port_count: int = 32,
+        backplane_rate: float | None = None,
+    ) -> None:
+        if port_count < 1:
+            raise ConfigError(f"port_count must be >= 1, got {port_count}")
+        self.engine = engine
+        self.fluid = fluid
+        self.name = name
+        self.port_count = port_count
+        self._ports: dict[str, _Port] = {}
+        self.backplane = (
+            Capacity(f"{name}.backplane", backplane_rate) if backplane_rate else None
+        )
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, name: str, link: RemoteLink, device: MemoryDevice | None) -> None:
+        """Plug an endpoint into a free port.
+
+        *device* is the endpoint's memory reachable through the fabric
+        (a server's DRAM, the pool box's DRAM); compute-only endpoints
+        pass ``None``.
+        """
+        if name in self._ports:
+            raise ConfigError(f"endpoint {name!r} already attached to {self.name}")
+        if len(self._ports) >= self.port_count:
+            raise ConfigError(
+                f"switch {self.name} is out of ports ({self.port_count}); "
+                "physical pools consume extra ports — the paper's cost point"
+            )
+        self._ports[name] = _Port(name, link, device)
+
+    def detach(self, name: str) -> None:
+        self._port(name)  # raise on unknown
+        del self._ports[name]
+
+    @property
+    def endpoints(self) -> list[str]:
+        return sorted(self._ports)
+
+    @property
+    def ports_used(self) -> int:
+        return len(self._ports)
+
+    @property
+    def ports_free(self) -> int:
+        return self.port_count - len(self._ports)
+
+    def _port(self, name: str) -> _Port:
+        try:
+            return self._ports[name]
+        except KeyError:
+            known = ", ".join(sorted(self._ports))
+            raise ConfigError(f"unknown endpoint {name!r}; attached: {known}") from None
+
+    def device_of(self, name: str) -> MemoryDevice:
+        device = self._port(name).device
+        if device is None:
+            raise ConfigError(f"endpoint {name!r} exposes no memory")
+        return device
+
+    def link_of(self, name: str) -> RemoteLink:
+        return self._port(name).link
+
+    # -- routing --------------------------------------------------------------
+
+    def read_route(self, requester: str, owner: str) -> AccessRoute:
+        """Route for *requester* loading from memory owned by *owner*.
+
+        Data flows owner's DRAM -> owner's uplink -> (backplane) ->
+        requester's downlink.  A same-endpoint access never touches the
+        fabric — the logical pool's key performance property (§3.1).
+        """
+        owner_port = self._port(owner)
+        device = owner_port.device
+        if device is None:
+            raise ConfigError(f"endpoint {owner!r} exposes no memory")
+        if requester == owner:
+            return AccessRoute(
+                path=(device.channel,),
+                latency_fn=device.loaded_latency,
+                remote=False,
+                description=f"{requester} local",
+            )
+        requester_port = self._port(requester)
+        path: tuple[Capacity, ...] = (
+            device.channel,
+            owner_port.link.up,
+            requester_port.link.down,
+        )
+        if self.backplane is not None:
+            path = (device.channel, owner_port.link.up, self.backplane, requester_port.link.down)
+        return AccessRoute(
+            path=path,
+            latency_fn=_remote_latency_fn(requester_port.link, path),
+            remote=True,
+            description=f"{requester} reads {owner}",
+        )
+
+    def write_route(self, requester: str, owner: str) -> AccessRoute:
+        """Route for *requester* storing to memory owned by *owner*;
+        data flows the opposite direction through the links."""
+        owner_port = self._port(owner)
+        device = owner_port.device
+        if device is None:
+            raise ConfigError(f"endpoint {owner!r} exposes no memory")
+        if requester == owner:
+            return AccessRoute(
+                path=(device.channel,),
+                latency_fn=device.loaded_latency,
+                remote=False,
+                description=f"{requester} local write",
+            )
+        requester_port = self._port(requester)
+        path: tuple[Capacity, ...] = (
+            requester_port.link.up,
+            owner_port.link.down,
+            device.channel,
+        )
+        if self.backplane is not None:
+            path = (
+                requester_port.link.up,
+                self.backplane,
+                owner_port.link.down,
+                device.channel,
+            )
+        return AccessRoute(
+            path=path,
+            latency_fn=_remote_latency_fn(requester_port.link, path),
+            remote=True,
+            description=f"{requester} writes {owner}",
+        )
+
+    def copy_route(self, src_owner: str, dst_owner: str) -> AccessRoute:
+        """Route for a fabric-level copy (migration, cache fill): bytes
+        leave *src_owner*'s DRAM and land in *dst_owner*'s DRAM."""
+        src = self._port(src_owner)
+        dst = self._port(dst_owner)
+        if src.device is None or dst.device is None:
+            raise ConfigError("copy endpoints must both expose memory")
+        if src_owner == dst_owner:
+            return AccessRoute(
+                path=(src.device.channel,),
+                latency_fn=src.device.loaded_latency,
+                remote=False,
+                description=f"{src_owner} local copy",
+            )
+        path: tuple[Capacity, ...] = (
+            src.device.channel,
+            src.link.up,
+            dst.link.down,
+            dst.device.channel,
+        )
+        if self.backplane is not None:
+            path = (
+                src.device.channel,
+                src.link.up,
+                self.backplane,
+                dst.link.down,
+                dst.device.channel,
+            )
+        return AccessRoute(
+            path=path,
+            latency_fn=_remote_latency_fn(dst.link, path),
+            remote=True,
+            description=f"copy {src_owner} -> {dst_owner}",
+        )
+
+
+def _remote_latency_fn(link: RemoteLink, path: tuple[Capacity, ...]):
+    """Loaded remote latency: the link's Table 2 curve evaluated at the
+    hottest element of the path (the queue actually forming)."""
+
+    def latency() -> float:
+        u = max(cap.utilization for cap in path)
+        return link.latency_model(u)
+
+    return latency

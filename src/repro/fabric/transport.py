@@ -1,0 +1,132 @@
+"""Memory transport: issuing reads and writes over fabric routes.
+
+This is the load/store data path the runtime and the coherence engine
+use when they are not streaming (streaming goes through
+:class:`~repro.hw.cpu.Core`).  A transport operation:
+
+1. resolves the route through the switch,
+2. pays the route's loaded latency (the Table 1/2 curves),
+3. moves the bytes through the fluid model,
+4. optionally moves *real* contents between backing stores, so
+   functional layers (migration, erasure coding) keep data intact.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.fabric.switch import FabricSwitch
+from repro.sim.fluid import FluidModel
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+    from repro.sim.process import Process
+
+
+class MemoryTransport:
+    """Issue loads/stores/copies between endpoints attached to a switch."""
+
+    def __init__(self, engine: "Engine", fluid: FluidModel, switch: FabricSwitch) -> None:
+        self.engine = engine
+        self.fluid = fluid
+        self.switch = switch
+        self.reads_issued = 0
+        self.writes_issued = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- data-path operations (simulation processes) -----------------------------
+
+    def read(self, requester: str, owner: str, addr: int, size: int) -> "Process":
+        """Load *size* bytes; the process returns the bytes (zeros if the
+        range was never written)."""
+        return self.engine.process(
+            self._read_body(requester, owner, addr, size),
+            name=f"read:{requester}<-{owner}",
+        )
+
+    def _read_body(self, requester: str, owner: str, addr: int, size: int):
+        route = self.switch.read_route(requester, owner)
+        self.reads_issued += 1
+        self.bytes_read += size
+        yield self.engine.timeout(route.loaded_latency())
+        if route.path:
+            yield self.fluid.transfer(route.path, size, tag=route.description)
+        device = self.switch.device_of(owner)
+        return device.read_bytes(addr, size)
+
+    def write(self, requester: str, owner: str, addr: int, data: bytes) -> "Process":
+        """Store *data*; the process returns the number of bytes written."""
+        return self.engine.process(
+            self._write_body(requester, owner, addr, data),
+            name=f"write:{requester}->{owner}",
+        )
+
+    def _write_body(self, requester: str, owner: str, addr: int, data: bytes):
+        route = self.switch.write_route(requester, owner)
+        self.writes_issued += 1
+        self.bytes_written += len(data)
+        yield self.engine.timeout(route.loaded_latency())
+        if route.path:
+            yield self.fluid.transfer(route.path, len(data), tag=route.description)
+        device = self.switch.device_of(owner)
+        device.write_bytes(addr, data)
+        return len(data)
+
+    def copy(
+        self,
+        src_owner: str,
+        src_addr: int,
+        dst_owner: str,
+        dst_addr: int,
+        size: int,
+        chunk_bytes: int = 16 * (1 << 20),
+    ) -> "Process":
+        """Fabric-level copy (page migration, cache fill), chunked so
+        concurrent traffic shares links fairly; moves real contents.
+        The process returns the copy duration in ns."""
+        return self.engine.process(
+            self._copy_body(src_owner, src_addr, dst_owner, dst_addr, size, chunk_bytes),
+            name=f"copy:{src_owner}->{dst_owner}",
+        )
+
+    def _copy_body(
+        self,
+        src_owner: str,
+        src_addr: int,
+        dst_owner: str,
+        dst_addr: int,
+        size: int,
+        chunk_bytes: int,
+    ):
+        started = self.engine.now
+        route = self.switch.copy_route(src_owner, dst_owner)
+        src_dev = self.switch.device_of(src_owner)
+        dst_dev = self.switch.device_of(dst_owner)
+        moved = 0
+        yield self.engine.timeout(route.loaded_latency())
+        while moved < size:
+            chunk = min(chunk_bytes, size - moved)
+            yield self.fluid.transfer(route.path, chunk, tag=route.description)
+            # contents move sparsely: untouched pages stay unmaterialized
+            src_dev.store.copy_to(
+                dst_dev.store, src_addr + moved, dst_addr + moved, chunk
+            )
+            moved += chunk
+        return self.engine.now - started
+
+    # -- cache-line probe (latency measurements) -------------------------------
+
+    def probe_latency(self, requester: str, owner: str) -> "Process":
+        """One 64 B load, returning its end-to-end latency — the MLC-style
+        probe behind Table 1/Table 2."""
+        return self.engine.process(
+            self._probe_body(requester, owner), name=f"probe:{requester}<-{owner}"
+        )
+
+    def _probe_body(self, requester: str, owner: str):
+        route = self.switch.read_route(requester, owner)
+        start = self.engine.now
+        yield self.engine.timeout(route.loaded_latency())
+        yield self.fluid.transfer(route.path, 64.0, tag="probe")
+        return self.engine.now - start

@@ -1,0 +1,54 @@
+"""Hardware device models.
+
+Devices are parameterized by the published measurements the paper builds
+its argument on (Table 1 and Table 2):
+
+* local DDR4 DRAM — 82 ns unloaded, 97 GB/s,
+* ``Link0`` — the default UPI link used to emulate CXL (163–418 ns,
+  34.5 GB/s),
+* ``Link1`` — the slowed-down UPI link (261–527 ns, 21.0 GB/s),
+* the Pond and FPGA CXL datapoints from Table 1.
+
+Each device couples a :class:`~repro.sim.fluid.Capacity` (its bandwidth)
+with a :class:`~repro.hw.latency.LatencyModel` (its loaded-latency
+curve), so experiments observe both saturation bandwidth and
+latency-under-load — exactly the two quantities the paper reports.
+"""
+
+from repro.hw.accelerator import Accelerator
+from repro.hw.cache import PageCache
+from repro.hw.cpu import Core, CpuSocket
+from repro.hw.dram import BackingStore, MemoryDevice
+from repro.hw.latency import LatencyModel
+from repro.hw.link import LINK_PRESETS, LinkSpec, RemoteLink
+from repro.hw.pool_device import PoolDevice
+from repro.hw.server import Server
+from repro.hw.specs import (
+    CXL_FPGA,
+    CXL_POND,
+    DeviceSpec,
+    LINK0,
+    LINK1,
+    LOCAL_DDR4,
+)
+
+__all__ = [
+    "Accelerator",
+    "BackingStore",
+    "CXL_FPGA",
+    "CXL_POND",
+    "Core",
+    "CpuSocket",
+    "DeviceSpec",
+    "LINK0",
+    "LINK1",
+    "LINK_PRESETS",
+    "LOCAL_DDR4",
+    "LatencyModel",
+    "LinkSpec",
+    "MemoryDevice",
+    "PageCache",
+    "PoolDevice",
+    "RemoteLink",
+    "Server",
+]

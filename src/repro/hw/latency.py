@@ -1,0 +1,96 @@
+"""Latency-under-load curves.
+
+Memory devices and fabric links exhibit a characteristic loaded-latency
+curve: near the unloaded latency while utilization is low, rising
+steeply as the device approaches saturation.  The paper measures exactly
+this for its two emulated CXL links (Table 2: Link0 163→418 ns, Link1
+261→527 ns) using Intel MLC-style loaded-latency sweeps.
+
+We model the curve as
+
+    lat(u) = lat_min + (lat_max - lat_min) * g(u)
+
+where ``g`` is a normalized M/M/1-style convex ramp::
+
+    g(u) = ( 1/(1 - rho*u) - 1 ) / ( 1/(1 - rho) - 1 )
+
+with ``rho`` (default 0.95) controlling how late the knee appears.
+``g(0) = 0`` and ``g(1) = 1`` by construction, so the curve passes
+exactly through the published (min, max) points regardless of ``rho``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+
+class LatencyModel:
+    """Loaded-latency curve pinned to measured (min, max) endpoints."""
+
+    __slots__ = ("lat_min", "lat_max", "rho", "_norm")
+
+    def __init__(self, lat_min: float, lat_max: float, rho: float = 0.95) -> None:
+        if lat_min < 0 or lat_max < lat_min:
+            raise ConfigError(
+                f"need 0 <= lat_min <= lat_max, got ({lat_min}, {lat_max})"
+            )
+        if not 0.0 < rho < 1.0:
+            raise ConfigError(f"rho must be in (0, 1), got {rho}")
+        self.lat_min = float(lat_min)
+        self.lat_max = float(lat_max)
+        self.rho = float(rho)
+        self._norm = 1.0 / (1.0 - rho) - 1.0
+
+    def latency(self, utilization: float) -> float:
+        """Latency in ns at the given utilization (clamped to [0, 1])."""
+        u = min(1.0, max(0.0, utilization))
+        if self._norm == 0:  # pragma: no cover - rho bounds prevent this
+            return self.lat_min
+        g = (1.0 / (1.0 - self.rho * u) - 1.0) / self._norm
+        return self.lat_min + (self.lat_max - self.lat_min) * g
+
+    def __call__(self, utilization: float) -> float:
+        return self.latency(utilization)
+
+    def inverse(self, latency: float) -> float:
+        """Utilization at which the curve reaches *latency* (for analysis)."""
+        if latency <= self.lat_min:
+            return 0.0
+        if latency >= self.lat_max:
+            return 1.0
+        g = (latency - self.lat_min) / (self.lat_max - self.lat_min)
+        # g = (1/(1-rho*u) - 1)/norm  =>  u = (1 - 1/(g*norm + 1)) / rho
+        return (1.0 - 1.0 / (g * self._norm + 1.0)) / self.rho
+
+    def sweep(self, points: int = 11) -> list[tuple[float, float]]:
+        """(utilization, latency) samples across the full load range."""
+        if points < 2:
+            raise ConfigError("sweep needs at least 2 points")
+        return [
+            (u, self.latency(u))
+            for u in (i / (points - 1) for i in range(points))
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LatencyModel {self.lat_min:.0f}..{self.lat_max:.0f}ns rho={self.rho}>"
+
+
+def flat(latency: float) -> LatencyModel:
+    """A degenerate curve for components with load-independent latency."""
+    model = LatencyModel(latency, latency + 1e-9)
+    return model
+
+
+def mlp_rate_cap(latency_ns: float, outstanding_lines: int, line_bytes: int = 64) -> float:
+    """Peak streaming rate (bytes/ns) of one core limited by memory-level
+    parallelism: *outstanding_lines* cache-line requests in flight against
+    a *latency_ns* round trip (Little's law).
+
+    This is why the paper needs 14 cores to saturate a memory channel:
+    one core's MLP ceiling sits well below device bandwidth.
+    """
+    if latency_ns <= 0:
+        return math.inf
+    return outstanding_lines * line_bytes / latency_ns

@@ -1,0 +1,58 @@
+"""Physical memory pool device (CXL Type-3 Global Shared FAM).
+
+The baseline the paper argues against: a separate box holding pooled
+DIMMs behind the fabric switch.  It has memory and a fabric attachment
+but no general-purpose cores — which is exactly why computation cannot
+be shipped to it (§4.4) and why all of its capacity is remote to every
+server (§4.3).
+
+Its switch attachment may be provisioned wider than a server link
+(``LinkSpec.width > 1``) to mitigate incast, at extra cost — the thick
+orange line in the paper's Figure 1a.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.hw.dram import MemoryDevice
+from repro.hw.link import LinkSpec, RemoteLink
+from repro.hw.specs import DeviceSpec, LOCAL_DDR4
+from repro.sim.fluid import FluidModel
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+
+class PoolDevice:
+    """The physical pool box: DIMMs + fabric port(s), no CPUs."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        fluid: FluidModel,
+        dram_bytes: int,
+        link_spec: LinkSpec,
+        dram_spec: DeviceSpec = LOCAL_DDR4,
+        name: str = "pool",
+    ) -> None:
+        self.engine = engine
+        self.fluid = fluid
+        self.name = name
+        self.dram = MemoryDevice(engine, fluid, dram_spec, dram_bytes, name=f"{name}.dram")
+        self.link = RemoteLink(engine, fluid, link_spec, name=f"{name}.link")
+        self.alive = True
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram.capacity_bytes
+
+    def crash(self) -> None:
+        """Pool failure: with a physical pool, every server loses the
+        pooled memory at once (the paper's §5 failure-domain contrast)."""
+        self.alive = False
+        self.dram.store.discard(0, self.dram.capacity_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "up" if self.alive else "CRASHED"
+        return f"<PoolDevice {self.name} {self.dram_bytes}B width={self.link.spec.width} {status}>"

@@ -1,0 +1,56 @@
+"""Memory-management substrate.
+
+The building blocks under the LMP runtime's addressing scheme (§5
+"Address translation"):
+
+* :mod:`repro.mem.layout` — addresses, extents, page geometry,
+  private/shared/coherent region descriptors,
+* :mod:`repro.mem.allocator` — free-list and buddy allocators for
+  carving physical ranges out of a device,
+* :mod:`repro.mem.page_table` — the *fine-grained, resolved locally*
+  second translation step (logical page -> local frame),
+* :mod:`repro.mem.global_map` — the *coarse-grained, globally
+  accessible* first step (logical extent -> owning server),
+* :mod:`repro.mem.interleave` — placement policies spreading an
+  allocation across the pool's shared regions.
+"""
+
+from repro.mem.allocator import BuddyAllocator, FreeListAllocator
+from repro.mem.global_map import GlobalMap, MapCache, MapEntry
+from repro.mem.interleave import (
+    CapacityWeightedPlacement,
+    LocalFirstPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    StripedPlacement,
+)
+from repro.mem.layout import (
+    Extent,
+    GlobalAddress,
+    PageGeometry,
+    PhysicalLocation,
+    Region,
+    RegionKind,
+)
+from repro.mem.page_table import PageTable, Protection
+
+__all__ = [
+    "BuddyAllocator",
+    "CapacityWeightedPlacement",
+    "Extent",
+    "FreeListAllocator",
+    "GlobalAddress",
+    "GlobalMap",
+    "LocalFirstPlacement",
+    "MapCache",
+    "MapEntry",
+    "PageGeometry",
+    "PageTable",
+    "PhysicalLocation",
+    "PlacementPolicy",
+    "Protection",
+    "Region",
+    "RegionKind",
+    "RoundRobinPlacement",
+    "StripedPlacement",
+]

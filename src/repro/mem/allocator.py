@@ -1,0 +1,235 @@
+"""Physical-range allocators.
+
+Two classic designs with identical interfaces:
+
+* :class:`FreeListAllocator` — sorted free list with first-fit or
+  best-fit placement and eager coalescing.  Used for shared-region
+  carving, where allocations are large and long-lived.
+* :class:`BuddyAllocator` — power-of-two buddy system.  Used for the
+  coherent region's small synchronization objects, where fast free/alloc
+  and bounded fragmentation matter more than tight packing.
+
+Both allocate from an abstract byte range; callers bind the range to a
+device/region.  Both track statistics used by the sizing policies.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+
+from repro.errors import AllocationError, ConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class Allocation:
+    """A granted range [offset, offset+size)."""
+
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+class FreeListAllocator:
+    """Sorted-free-list allocator with coalescing.
+
+    ``policy`` is ``"first-fit"`` (default; fast, good for streams of
+    similar sizes) or ``"best-fit"`` (tighter packing under mixed
+    sizes).
+    """
+
+    def __init__(self, capacity: int, policy: str = "first-fit", align: int = 64) -> None:
+        if capacity <= 0:
+            raise ConfigError(f"allocator capacity must be positive, got {capacity}")
+        if policy not in ("first-fit", "best-fit"):
+            raise ConfigError(f"unknown policy {policy!r}")
+        if align <= 0 or (align & (align - 1)) != 0:
+            raise ConfigError(f"alignment must be a power of two, got {align}")
+        self.capacity = capacity
+        self.policy = policy
+        self.align = align
+        #: sorted list of (offset, size) free holes
+        self._free: list[tuple[int, int]] = [(0, capacity)]
+        self._live: dict[int, int] = {}  # offset -> size
+        self.bytes_allocated = 0
+        self.alloc_count = 0
+        self.fail_count = 0
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def bytes_free(self) -> int:
+        return self.capacity - self.bytes_allocated
+
+    @property
+    def largest_hole(self) -> int:
+        return max((size for _off, size in self._free), default=0)
+
+    def fragmentation(self) -> float:
+        """1 - largest_hole/free: 0 when free space is one hole."""
+        free = self.bytes_free
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_hole / free
+
+    # -- allocate / free -----------------------------------------------------
+
+    def _round(self, size: int) -> int:
+        return (size + self.align - 1) & ~(self.align - 1)
+
+    def allocate(self, size: int) -> Allocation:
+        """Grant an aligned range of at least *size* bytes."""
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        need = self._round(size)
+        index = self._find_hole(need)
+        if index is None:
+            self.fail_count += 1
+            raise AllocationError(
+                f"no hole for {need} bytes (free={self.bytes_free}, "
+                f"largest={self.largest_hole})"
+            )
+        offset, hole = self._free.pop(index)
+        if hole > need:
+            self._free.insert(index, (offset + need, hole - need))
+        self._live[offset] = need
+        self.bytes_allocated += need
+        self.alloc_count += 1
+        return Allocation(offset, need)
+
+    def _find_hole(self, need: int) -> int | None:
+        if self.policy == "first-fit":
+            for i, (_off, size) in enumerate(self._free):
+                if size >= need:
+                    return i
+            return None
+        best_i: int | None = None
+        best_size = None
+        for i, (_off, size) in enumerate(self._free):
+            if size >= need and (best_size is None or size < best_size):
+                best_i, best_size = i, size
+        return best_i
+
+    def free(self, allocation: Allocation | int) -> None:
+        """Return a range; adjacent holes coalesce immediately."""
+        offset = allocation.offset if isinstance(allocation, Allocation) else allocation
+        size = self._live.pop(offset, None)
+        if size is None:
+            raise AllocationError(f"free() of unknown offset {offset}")
+        self.bytes_allocated -= size
+        i = bisect.bisect_left(self._free, (offset, 0))
+        # merge with successor
+        if i < len(self._free) and offset + size == self._free[i][0]:
+            size += self._free[i][1]
+            self._free.pop(i)
+        # merge with predecessor
+        if i > 0 and self._free[i - 1][0] + self._free[i - 1][1] == offset:
+            prev_off, prev_size = self._free[i - 1]
+            self._free[i - 1] = (prev_off, prev_size + size)
+        else:
+            self._free.insert(i, (offset, size))
+
+    def check_invariants(self) -> None:
+        """Assert internal consistency (used by property tests)."""
+        total_free = sum(size for _o, size in self._free)
+        assert total_free + self.bytes_allocated == self.capacity, "byte conservation"
+        last_end = -1
+        for offset, size in self._free:
+            assert size > 0, "empty hole"
+            assert offset > last_end, "holes sorted, disjoint, coalesced"
+            last_end = offset + size
+        for offset, size in self._live.items():
+            for hoff, hsize in self._free:
+                assert offset + size <= hoff or hoff + hsize <= offset, (
+                    "live allocation overlaps a hole"
+                )
+
+
+class BuddyAllocator:
+    """Power-of-two buddy allocator.
+
+    Capacity is rounded down to a power of two; minimum block size is
+    ``min_block``.  Frees recombine buddies eagerly.
+    """
+
+    def __init__(self, capacity: int, min_block: int = 4096) -> None:
+        if capacity < min_block:
+            raise ConfigError(f"capacity {capacity} smaller than min block {min_block}")
+        if min_block <= 0 or (min_block & (min_block - 1)) != 0:
+            raise ConfigError(f"min_block must be a power of two, got {min_block}")
+        self.min_block = min_block
+        self.capacity = 1 << (capacity.bit_length() - 1)
+        self._max_order = (self.capacity // min_block).bit_length() - 1
+        #: free lists per order; order 0 == min_block
+        self._free: list[set[int]] = [set() for _ in range(self._max_order + 1)]
+        self._free[self._max_order].add(0)
+        self._live: dict[int, int] = {}  # offset -> order
+        self.bytes_allocated = 0
+
+    def _order_for(self, size: int) -> int:
+        blocks = (size + self.min_block - 1) // self.min_block
+        order = max(0, (blocks - 1).bit_length())
+        return order
+
+    def block_size(self, order: int) -> int:
+        return self.min_block << order
+
+    @property
+    def bytes_free(self) -> int:
+        return self.capacity - self.bytes_allocated
+
+    def allocate(self, size: int) -> Allocation:
+        """Grant a block of the smallest power-of-two size >= *size*."""
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        order = self._order_for(size)
+        if order > self._max_order:
+            raise AllocationError(f"{size} bytes exceeds buddy capacity {self.capacity}")
+        # find the smallest order with a free block, splitting down
+        source = order
+        while source <= self._max_order and not self._free[source]:
+            source += 1
+        if source > self._max_order:
+            raise AllocationError(
+                f"buddy allocator exhausted for {size} bytes (order {order})"
+            )
+        offset = min(self._free[source])  # deterministic choice
+        self._free[source].discard(offset)
+        while source > order:
+            source -= 1
+            buddy = offset + self.block_size(source)
+            self._free[source].add(buddy)
+        self._live[offset] = order
+        granted = self.block_size(order)
+        self.bytes_allocated += granted
+        return Allocation(offset, granted)
+
+    def free(self, allocation: Allocation | int) -> None:
+        """Return a block; buddies recombine as far as possible."""
+        offset = allocation.offset if isinstance(allocation, Allocation) else allocation
+        order = self._live.pop(offset, None)
+        if order is None:
+            raise AllocationError(f"free() of unknown offset {offset}")
+        self.bytes_allocated -= self.block_size(order)
+        while order < self._max_order:
+            buddy = offset ^ self.block_size(order)
+            if buddy not in self._free[order]:
+                break
+            self._free[order].discard(buddy)
+            offset = min(offset, buddy)
+            order += 1
+        self._free[order].add(offset)
+
+    def check_invariants(self) -> None:
+        """Assert internal consistency (used by property tests)."""
+        free_bytes = sum(
+            self.block_size(order) * len(blocks)
+            for order, blocks in enumerate(self._free)
+        )
+        assert free_bytes + self.bytes_allocated == self.capacity, "byte conservation"
+        for order, blocks in enumerate(self._free):
+            for offset in blocks:
+                assert offset % self.block_size(order) == 0, "block alignment"

@@ -1,0 +1,156 @@
+"""The discrete-event engine: a virtual clock plus an event heap.
+
+The engine is deliberately small.  Time is a float in nanoseconds (see
+:mod:`repro.units`).  Determinism matters for reproducibility, so ties in
+time are broken by a monotonically increasing sequence number — two runs
+of the same model produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RngStreams
+
+
+class Engine:
+    """Event loop, virtual clock, and factory for events and processes.
+
+    Typical use::
+
+        eng = Engine(seed=7)
+
+        def worker(eng):
+            yield eng.timeout(10.0)
+            return "done"
+
+        proc = eng.process(worker(eng))
+        eng.run()
+        assert proc.value == "done"
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self.rng = RngStreams(seed)
+        #: number of events processed, for instrumentation
+        self.events_processed = 0
+        #: hooks called as fn(engine) before each event is processed
+        self._step_hooks: list[_t.Callable[["Engine"], None]] = []
+
+    # -- clock --------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    # -- event factories -------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: _t.Any = None) -> Timeout:
+        """Create an event that fires *delay* nanoseconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: _t.Generator, name: str = "") -> Process:
+        """Spawn a process from a generator; returns the process (an event
+        that succeeds with the generator's return value)."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: _t.Sequence[Event]) -> AnyOf:
+        """Event that fires when the first of *events* fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: _t.Sequence[Event]) -> AllOf:
+        """Event that fires when every one of *events* has fired."""
+        return AllOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event {delay}ns in the past")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def add_step_hook(self, hook: _t.Callable[["Engine"], None]) -> None:
+        """Register *hook* to run before every event dispatch.
+
+        The fluid bandwidth model uses this to keep transfer progress
+        up to date with the clock.
+        """
+        self._step_hooks.append(hook)
+
+    # -- running -----------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``float('inf')`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise DeadlockError("step() called with an empty event heap")
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        for hook in self._step_hooks:
+            hook(self)
+        callbacks = event.callbacks
+        event.callbacks = None  # marks the event processed
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failed event that nobody handled: crash the simulation so
+            # errors never pass silently.
+            raise event.value
+        self.events_processed += 1
+
+    def run(self, until: float | Event | None = None) -> _t.Any:
+        """Run until the heap is empty, a deadline, or an event.
+
+        * ``until=None`` — run until no events remain.
+        * ``until=<float>`` — run until the clock reaches that time.
+        * ``until=<Event>`` — run until that event is processed and
+          return its value (raising if it failed).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            target = until
+            if target.processed:
+                if not target.ok:
+                    raise target.value
+                return target.value
+            done: list[bool] = []
+            assert target.callbacks is not None
+            target.callbacks.append(lambda _ev: done.append(True))
+            while not done:
+                if not self._heap:
+                    raise DeadlockError(
+                        f"event heap ran dry before {target!r} was triggered"
+                    )
+                self.step()
+            if not target.ok:
+                target.defuse()
+                raise target.value
+            return target.value
+
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(f"cannot run until {deadline} < now {self._now}")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None

@@ -1,0 +1,282 @@
+"""Max-min fair fluid bandwidth model.
+
+Every data transfer in the reproduction (a core streaming a chunk from
+DRAM, a page migration crossing the fabric, a cache fill from the
+physical pool) is a *flow* over a *path* of :class:`Capacity` nodes
+(memory channels, fabric ports, switch links).  At any instant each flow
+has a rate; rates are the max-min fair allocation subject to
+
+* every capacity node's aggregate rate limit, and
+* each flow's own rate cap (e.g. a single core's streaming ceiling).
+
+The allocation is recomputed with the Bertsekas–Gallager water-filling
+algorithm whenever a flow starts or finishes.  Between recomputations
+flow progress is linear, so the model is exact — not a discretized
+approximation — while remaining event-driven and fast: the number of
+events is O(#flows), independent of transfer sizes.
+
+This is the standard technique for simulating bandwidth-bound systems at
+scale (flow-level network simulation), and it is the reason we can "run"
+96 GB scans in milliseconds of wall-clock time.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.stats import StatSet
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+
+class Capacity:
+    """A bandwidth-limited element: memory channel, fabric port, or link."""
+
+    __slots__ = ("name", "rate", "stats", "_flows", "_used_rate")
+
+    def __init__(self, name: str, rate: float) -> None:
+        if rate <= 0 or not math.isfinite(rate):
+            raise SimulationError(f"capacity {name!r} needs a positive finite rate, got {rate}")
+        self.name = name
+        #: peak rate in bytes/ns (== GB/s)
+        self.rate = rate
+        self.stats = StatSet(name)
+        self._flows: set["Transfer"] = set()
+        self._used_rate = 0.0
+
+    @property
+    def used_rate(self) -> float:
+        """Aggregate instantaneous rate of flows crossing this element."""
+        return self._used_rate
+
+    @property
+    def utilization(self) -> float:
+        """Instantaneous utilization in [0, 1]."""
+        return min(1.0, self._used_rate / self.rate)
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Capacity {self.name} {self.rate:.1f}B/ns {len(self._flows)} flows>"
+
+
+class Transfer:
+    """One in-flight flow: *size* bytes over *path*, optionally rate-capped."""
+
+    __slots__ = ("path", "remaining", "rate_cap", "rate", "done", "started_at", "size", "tag")
+
+    def __init__(
+        self,
+        path: tuple[Capacity, ...],
+        size: float,
+        rate_cap: float,
+        done: Event,
+        started_at: float,
+        tag: str = "",
+    ) -> None:
+        self.path = path
+        self.size = size
+        self.remaining = float(size)
+        self.rate_cap = rate_cap
+        self.rate = 0.0
+        self.done = done
+        self.started_at = started_at
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = "->".join(c.name for c in self.path)
+        return f"<Transfer {self.tag or 'flow'} {self.remaining:.0f}B left via {names}>"
+
+
+class FluidModel:
+    """Shared fluid solver attached to one :class:`Engine`.
+
+    Components create one model per simulation and call :meth:`transfer`
+    to move bytes.  The returned event fires when the last byte arrives;
+    its value is the transfer duration in nanoseconds.
+    """
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self._transfers: set[Transfer] = set()
+        self._last_advance = engine.now
+        self._tick_generation = 0
+        engine.add_step_hook(self._on_step)
+
+    # -- public API ------------------------------------------------------------
+
+    def transfer(
+        self,
+        path: _t.Sequence[Capacity],
+        size: float,
+        rate_cap: float = math.inf,
+        tag: str = "",
+    ) -> Event:
+        """Start moving *size* bytes along *path*; returns the completion event."""
+        if size < 0:
+            raise SimulationError(f"negative transfer size {size}")
+        if rate_cap <= 0:
+            raise SimulationError(f"transfer rate cap must be positive, got {rate_cap}")
+        done = Event(self.engine, name=f"transfer:{tag}")
+        if size == 0 or not path:
+            done.succeed(0.0)
+            return done
+        flow = Transfer(tuple(path), size, rate_cap, done, self.engine.now, tag=tag)
+        self._advance()
+        self._transfers.add(flow)
+        for cap in flow.path:
+            cap._flows.add(flow)
+        self._recompute()
+        return done
+
+    @property
+    def active_transfers(self) -> int:
+        return len(self._transfers)
+
+    # -- engine hook -----------------------------------------------------------
+
+    def _on_step(self, engine: "Engine") -> None:
+        # Keep progress current with the clock before any event handler
+        # observes the model; completes any flow that just drained.
+        self._advance()
+        self._complete_finished()
+
+    # -- internals ---------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Drain bytes according to current rates up to the current time."""
+        now = self.engine.now
+        dt = now - self._last_advance
+        if dt <= 0:
+            return
+        self._last_advance = now
+        if not self._transfers:
+            return
+        for flow in self._transfers:
+            if flow.rate > 0:
+                moved = min(flow.rate * dt, flow.remaining)
+                flow.remaining -= moved
+                for cap in flow.path:
+                    cap.stats.counter("bytes").add(moved)
+
+    #: transfers with less than this many bytes left are complete; residues
+    #: of this size are float error from rate*dt accumulation, and letting
+    #: them linger deadlocks once dt underflows the clock's ulp
+    COMPLETION_EPSILON = 1e-3
+
+    def _complete_finished(self) -> None:
+        finished = [f for f in self._transfers if f.remaining <= self.COMPLETION_EPSILON]
+        if not finished:
+            return
+        for flow in finished:
+            self._transfers.discard(flow)
+            for cap in flow.path:
+                cap._flows.discard(flow)
+            if not flow.done.triggered:
+                flow.done.succeed(self.engine.now - flow.started_at)
+        self._recompute()
+        # Capacities that just lost their last flow are absent from the
+        # recompute set; refresh them so utilization reads as idle.
+        now = self.engine.now
+        for flow in finished:
+            for cap in flow.path:
+                if not cap._flows:
+                    cap._used_rate = 0.0
+                    cap.stats.gauge("utilization", 0.0, 0.0).update(0.0, now)
+
+    def _recompute(self) -> None:
+        """Water-filling max-min allocation (Bertsekas–Gallager)."""
+        now = self.engine.now
+        flows = list(self._transfers)
+        for flow in flows:
+            flow.rate = 0.0
+
+        remaining: dict[Capacity, float] = {}
+        unfrozen_at: dict[Capacity, int] = {}
+        caps: set[Capacity] = set()
+        for flow in flows:
+            for cap in flow.path:
+                caps.add(cap)
+                remaining[cap] = cap.rate
+                unfrozen_at[cap] = unfrozen_at.get(cap, 0) + 1
+
+        unfrozen = set(flows)
+        while unfrozen:
+            # Bottleneck share among capacity nodes.
+            best_share = math.inf
+            best_cap: Capacity | None = None
+            for cap in caps:
+                n = unfrozen_at.get(cap, 0)
+                if n <= 0:
+                    continue
+                share = remaining[cap] / n
+                if share < best_share:
+                    best_share = share
+                    best_cap = cap
+            # Flow caps act as single-flow pseudo-capacities.
+            capped = [f for f in unfrozen if f.rate_cap <= best_share]
+            if capped:
+                for flow in capped:
+                    flow.rate = flow.rate_cap
+                    unfrozen.discard(flow)
+                    for cap in flow.path:
+                        remaining[cap] -= flow.rate
+                        unfrozen_at[cap] -= 1
+                continue
+            if best_cap is None:
+                # No capacity constrains the rest; only flow caps do, and
+                # none bind below best_share (inf) -> flows are uncapped
+                # over an empty path, which transfer() already excludes.
+                raise SimulationError("water-filling found flows with no constraints")
+            share = remaining[best_cap] / unfrozen_at[best_cap]
+            bottlenecked = [f for f in unfrozen if best_cap in f.path]
+            for flow in bottlenecked:
+                flow.rate = share
+                unfrozen.discard(flow)
+                for cap in flow.path:
+                    remaining[cap] -= flow.rate
+                    unfrozen_at[cap] -= 1
+
+        # Refresh per-capacity usage and utilization stats.
+        for cap in caps:
+            used = sum(f.rate for f in cap._flows)
+            cap._used_rate = used
+            cap.stats.gauge("utilization", 0.0, 0.0).update(used / cap.rate, now)
+        # Capacities that just lost their last flow need a zero sample too.
+        self._schedule_next_tick()
+
+    def _schedule_next_tick(self) -> None:
+        """Wake the engine when the earliest flow will drain."""
+        self._tick_generation += 1
+        generation = self._tick_generation
+        horizon = math.inf
+        for flow in self._transfers:
+            if flow.rate > 0:
+                horizon = min(horizon, flow.remaining / flow.rate)
+        if not math.isfinite(horizon):
+            return
+        # The clock's resolution shrinks as it grows; a horizon below one
+        # ulp would fire "now", advance by dt == 0, and drain nothing.
+        horizon = max(horizon, 4.0 * math.ulp(self.engine.now))
+
+        tick = Event(self.engine, name="fluid.tick")
+        tick._value = None
+        tick._ok = True
+
+        def _fire(_ev: Event, gen: int = generation) -> None:
+            if gen != self._tick_generation:
+                return  # a newer recompute superseded this tick
+            self._advance()
+            self._complete_finished()
+            if gen == self._tick_generation and self._transfers:
+                # Nothing finished (so nothing rescheduled): keep ticking.
+                self._schedule_next_tick()
+
+        tick.callbacks.append(_fire)
+        self.engine._schedule(tick, delay=horizon)

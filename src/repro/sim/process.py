@@ -1,0 +1,122 @@
+"""Generator-based simulation processes.
+
+A process wraps a generator.  The generator ``yield``s events; the
+process resumes when the yielded event fires, receiving the event's
+value at the yield point (or the event's exception raised there).  The
+process object is itself an :class:`~repro.sim.events.Event` that
+succeeds with the generator's return value, so processes can wait on
+each other.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+
+class Interrupted(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    def __init__(self, cause: _t.Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running generator on the simulation timeline."""
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, engine: "Engine", generator: _t.Generator, name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}; "
+                "did you call the function with () and forget a yield inside?"
+            )
+        super().__init__(engine, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Kick off the process via an immediately-scheduled init event.
+        init = Event(engine, name=f"init:{self.name}")
+        init.callbacks.append(self._resume)
+        init._value = None
+        init._ok = True
+        engine._schedule(init, delay=0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: _t.Any = None) -> None:
+        """Throw :class:`Interrupted` into the process at its current yield."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self!r}")
+        # Detach from whatever the process was waiting on; deliver the
+        # interrupt as an immediate failed resume.
+        waiting = self._waiting_on
+        if waiting is not None and waiting.callbacks is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        punch = Event(self.engine, name=f"interrupt:{self.name}")
+        punch._value = Interrupted(cause)
+        punch._ok = False
+        punch._defused = True
+        punch.callbacks.append(self._resume)
+        self.engine._schedule(punch, delay=0.0)
+
+    # -- internals ----------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                event.defuse()
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):  # pragma: no cover
+                raise
+            self.fail(exc)
+            return
+
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Events"
+            )
+            try:
+                self._generator.throw(exc)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as inner:
+                if isinstance(inner, (KeyboardInterrupt, SystemExit)):  # pragma: no cover
+                    raise
+                self.fail(inner)
+            return
+
+        if target.processed:
+            # The event already fired: resume on the next tick with its value.
+            relay = Event(self.engine, name=f"relay:{self.name}")
+            relay._value = target._value
+            relay._ok = target._ok
+            if not target._ok:
+                target.defuse()
+                relay._defused = True
+            relay.callbacks.append(self._resume)
+            self.engine._schedule(relay, delay=0.0)
+        else:
+            self._waiting_on = target
+            assert target.callbacks is not None
+            target.callbacks.append(self._resume)

@@ -1,0 +1,36 @@
+"""Deployment topologies and the cost model.
+
+* :mod:`repro.topology.specs` — declarative deployment descriptions,
+  including the paper's exact §4.1 configurations (4 servers, 96 GB
+  budget; Logical 24 GB/server; Physical 8 GB local + 64 GB pool).
+* :mod:`repro.topology.builder` — instantiate a spec into simulated
+  hardware wired to a fabric switch.
+* :mod:`repro.topology.cost` — the component cost model behind §4.2
+  (Benefit 1: lower entry barrier).
+"""
+
+from repro.topology.builder import Deployment, build, build_logical, build_physical
+from repro.topology.cost import CostBook, CostBreakdown, compare_scenarios, deployment_cost
+from repro.topology.specs import (
+    DeploymentKind,
+    DeploymentSpec,
+    paper_logical,
+    paper_physical_cache,
+    paper_physical_nocache,
+)
+
+__all__ = [
+    "CostBook",
+    "CostBreakdown",
+    "Deployment",
+    "DeploymentKind",
+    "DeploymentSpec",
+    "build",
+    "build_logical",
+    "build_physical",
+    "compare_scenarios",
+    "deployment_cost",
+    "paper_logical",
+    "paper_physical_cache",
+    "paper_physical_nocache",
+]

@@ -1,0 +1,185 @@
+"""Component cost model for §4.2 (Benefit 1: lower entry barrier).
+
+The paper's argument is qualitative: "physical pools demand additional
+components such as a power supply, motherboard, and CPUs or custom
+ASICs/FPGAs to function as the memory pool.  Also, physical pools
+require extra rack space and additional switch ports."  We make it
+quantitative with a component cost book (editable; defaults are
+order-of-magnitude 2023 list prices) and evaluate the paper's two
+scenarios:
+
+* **equal disaggregated memory** — both deployments offer the same pool
+  capacity; the physical deployment additionally needs local DIMMs per
+  server, plus the pool box.  LMP wins economically.
+* **equal total memory** — both deployments hold the same DIMM total;
+  the physical one must delegate memory to the pool, leaving its servers
+  with less local memory.  LMP wins operationally (more local memory per
+  server at the same cost of DIMMs, and no pool box).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError
+from repro.topology.specs import DeploymentKind, DeploymentSpec
+from repro.units import gb, gib
+
+
+@dataclasses.dataclass(frozen=True)
+class CostBook:
+    """Unit prices (USD) for every component the deployments differ in.
+
+    Server base chassis are excluded on purpose: both architectures need
+    the same compute servers, so they cancel out of the comparison.
+    """
+
+    dimm_per_gb: float = 4.0
+    fabric_adapter: float = 300.0  # CXL adapter per attached endpoint
+    switch_port: float = 250.0  # per consumed fabric switch port
+    rack_unit: float = 150.0  # per RU-month amortized slot cost
+    pool_chassis: float = 2500.0  # power supply + motherboard + enclosure
+    pool_controller: float = 1800.0  # CPU or custom ASIC/FPGA running the pool
+    pool_rack_units: int = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class CostBreakdown:
+    """Itemized deployment cost."""
+
+    dimms: float
+    fabric_adapters: float
+    switch_ports: float
+    rack_space: float
+    pool_hardware: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.dimms
+            + self.fabric_adapters
+            + self.switch_ports
+            + self.rack_space
+            + self.pool_hardware
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "dimms": self.dimms,
+            "fabric_adapters": self.fabric_adapters,
+            "switch_ports": self.switch_ports,
+            "rack_space": self.rack_space,
+            "pool_hardware": self.pool_hardware,
+            "total": self.total,
+        }
+
+
+def deployment_cost(spec: DeploymentSpec, book: CostBook | None = None) -> CostBreakdown:
+    """Cost of one deployment under the cost book."""
+    book = book or CostBook()
+    total_gb = spec.total_memory_bytes / gb(1)
+    endpoints = spec.server_count + (1 if spec.kind.is_physical else 0)
+    pool_hw = 0.0
+    rack_units = 0
+    if spec.kind.is_physical:
+        pool_hw = book.pool_chassis + book.pool_controller
+        rack_units = book.pool_rack_units
+    return CostBreakdown(
+        dimms=total_gb * book.dimm_per_gb,
+        fabric_adapters=endpoints * book.fabric_adapter,
+        switch_ports=spec.ports_needed * book.switch_port,
+        rack_space=rack_units * book.rack_unit,
+        pool_hardware=pool_hw,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioComparison:
+    """One §4.2 scenario: matched deployments and their costs."""
+
+    name: str
+    logical: DeploymentSpec
+    physical: DeploymentSpec
+    logical_cost: CostBreakdown
+    physical_cost: CostBreakdown
+
+    @property
+    def physical_premium(self) -> float:
+        """Extra cost of the physical deployment, as a fraction."""
+        if self.logical_cost.total == 0:
+            raise ConfigError("logical deployment has zero cost")
+        return self.physical_cost.total / self.logical_cost.total - 1.0
+
+    @property
+    def local_memory_per_server(self) -> tuple[int, int]:
+        """(logical, physical) local bytes available to each server."""
+        return (
+            self.logical.server_dram_bytes,
+            self.physical.server_dram_bytes,
+        )
+
+
+def compare_scenarios(
+    pool_bytes: int = gib(64),
+    server_count: int = 4,
+    server_local_bytes: int = gib(8),
+    link: str = "link0",
+    book: CostBook | None = None,
+) -> tuple[ScenarioComparison, ScenarioComparison]:
+    """Build and cost both §4.2 scenarios.
+
+    Scenario 1 (equal disaggregated memory): both deployments expose
+    *pool_bytes* of pooled capacity; the physical one also needs
+    *server_local_bytes* of local memory per server to function.
+
+    Scenario 2 (equal total memory): both deployments hold
+    ``pool_bytes + server_count*server_local_bytes`` DIMM-bytes total;
+    the physical one delegates *pool_bytes* of it to the pool box.
+    """
+    book = book or CostBook()
+
+    # Scenario 1: equal disaggregated memory.
+    logical_1 = DeploymentSpec(
+        kind=DeploymentKind.LOGICAL,
+        server_count=server_count,
+        server_dram_bytes=pool_bytes // server_count,
+        link=link,
+    )
+    physical_1 = DeploymentSpec(
+        kind=DeploymentKind.PHYSICAL_CACHE,
+        server_count=server_count,
+        server_dram_bytes=server_local_bytes,
+        pool_dram_bytes=pool_bytes,
+        link=link,
+    )
+    scenario_1 = ScenarioComparison(
+        name="equal disaggregated memory",
+        logical=logical_1,
+        physical=physical_1,
+        logical_cost=deployment_cost(logical_1, book),
+        physical_cost=deployment_cost(physical_1, book),
+    )
+
+    # Scenario 2: equal total memory.
+    total = pool_bytes + server_count * server_local_bytes
+    logical_2 = DeploymentSpec(
+        kind=DeploymentKind.LOGICAL,
+        server_count=server_count,
+        server_dram_bytes=total // server_count,
+        link=link,
+    )
+    physical_2 = DeploymentSpec(
+        kind=DeploymentKind.PHYSICAL_CACHE,
+        server_count=server_count,
+        server_dram_bytes=server_local_bytes,
+        pool_dram_bytes=pool_bytes,
+        link=link,
+    )
+    scenario_2 = ScenarioComparison(
+        name="equal total memory",
+        logical=logical_2,
+        physical=physical_2,
+        logical_cost=deployment_cost(logical_2, book),
+        physical_cost=deployment_cost(physical_2, book),
+    )
+    return scenario_1, scenario_2

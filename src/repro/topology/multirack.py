@@ -1,0 +1,114 @@
+"""Multi-rack fabric topologies (§3.2's 10–100 TB ambition).
+
+The paper's evaluation is one switch; its vision ("We envision LMPs
+providing 10–100 TB of shared memory") needs CXL 3 Port-Based Routing
+across cascaded switches.  This module builds those fabrics as
+:class:`~repro.fabric.routing.FabricGraph` pods:
+
+* one leaf switch per rack, each with N servers,
+* a spine layer interconnecting the leaves (configurable trunk width),
+
+and provides the capacity arithmetic (how many racks reach 100 TB, how
+much cross-rack bandwidth the spine must carry) that the scale-out
+experiment reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError
+from repro.fabric.routing import FabricGraph
+from repro.hw.link import LINK_PRESETS
+from repro.sim.engine import Engine
+from repro.sim.fluid import FluidModel
+from repro.units import gib
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiRackSpec:
+    """A leaf-spine pod of LMP racks."""
+
+    racks: int = 4
+    servers_per_rack: int = 8
+    server_dram_bytes: int = gib(256)
+    link: str = "link0"
+    trunk_width: float = 4.0  # leaf<->spine capacity in server-link multiples
+    spine_count: int = 2
+    hop_latency_ns: float = 25.0  # per wire+retimer+switch-pipeline hop
+
+    def __post_init__(self) -> None:
+        if self.racks < 1 or self.servers_per_rack < 1 or self.spine_count < 1:
+            raise ConfigError("racks, servers_per_rack and spine_count must be >= 1")
+        if self.link not in LINK_PRESETS:
+            raise ConfigError(f"unknown link {self.link!r}")
+        if self.trunk_width < 1.0:
+            raise ConfigError("trunk width must be >= 1 server link")
+
+    @property
+    def total_servers(self) -> int:
+        return self.racks * self.servers_per_rack
+
+    @property
+    def pool_capacity_bytes(self) -> int:
+        """Pooled capacity when every byte is flexed shared (§4.5)."""
+        return self.total_servers * self.server_dram_bytes
+
+    def server_name(self, rack: int, index: int) -> str:
+        return f"r{rack}s{index}"
+
+    def leaf_name(self, rack: int) -> str:
+        return f"leaf{rack}"
+
+    def spine_name(self, index: int) -> str:
+        return f"spine{index}"
+
+
+@dataclasses.dataclass
+class MultiRackFabric:
+    """A built pod: the graph plus its spec."""
+
+    spec: MultiRackSpec
+    engine: Engine
+    fluid: FluidModel
+    graph: FabricGraph
+
+    def sample_servers(self) -> tuple[str, str, str]:
+        """(a server, a same-rack peer, a cross-rack peer) for probes."""
+        spec = self.spec
+        same = spec.server_name(0, 1) if spec.servers_per_rack > 1 else spec.server_name(0, 0)
+        cross = spec.server_name(spec.racks - 1, 0) if spec.racks > 1 else same
+        return spec.server_name(0, 0), same, cross
+
+
+def build_multirack(spec: MultiRackSpec, seed: int = 0) -> MultiRackFabric:
+    """Wire the pod: servers -> leaf per rack, leaves -> all spines."""
+    engine = Engine(seed=seed)
+    fluid = FluidModel(engine)
+    graph = FabricGraph(engine, fluid)
+    link_rate = LINK_PRESETS[spec.link].bandwidth
+
+    for rack in range(spec.racks):
+        graph.add_switch(spec.leaf_name(rack), port_count=spec.servers_per_rack + spec.spine_count)
+        for index in range(spec.servers_per_rack):
+            name = spec.server_name(rack, index)
+            graph.add_endpoint(name)
+            graph.connect(
+                name, spec.leaf_name(rack), bandwidth=link_rate, hop_latency=spec.hop_latency_ns
+            )
+    for spine in range(spec.spine_count):
+        graph.add_switch(spec.spine_name(spine), port_count=spec.racks)
+        for rack in range(spec.racks):
+            graph.connect(
+                spec.leaf_name(rack),
+                spec.spine_name(spine),
+                bandwidth=link_rate * spec.trunk_width / spec.spine_count,
+                hop_latency=spec.hop_latency_ns,
+            )
+    return MultiRackFabric(spec=spec, engine=engine, fluid=fluid, graph=graph)
+
+
+def racks_for_capacity(target_bytes: int, spec: MultiRackSpec) -> int:
+    """How many racks of this shape reach *target_bytes* of pool."""
+    per_rack = spec.servers_per_rack * spec.server_dram_bytes
+    return -(-target_bytes // per_rack)

@@ -1,0 +1,139 @@
+"""Units used throughout the reproduction.
+
+The simulator's base units are:
+
+* **time** — nanoseconds, stored as ``float``.  The paper reports memory
+  latencies in nanoseconds (Table 1, Table 2), so nanoseconds keep the
+  model parameters legible.
+* **size** — bytes, stored as ``int``.
+* **bandwidth** — bytes per nanosecond, which is numerically equal to
+  gigabytes per second (1 GB/ns == 1e9 B / 1e9 ns).  The paper reports
+  bandwidth in GB/s, so the conversion is the identity and model
+  parameters can be read straight out of the paper's tables.
+
+This module provides constructors and formatters so the rest of the code
+never hand-rolls unit conversions.
+"""
+
+from __future__ import annotations
+
+# --- size constructors (decimal and binary) -------------------------------
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+TiB = 1 << 40
+
+
+def kib(n: float) -> int:
+    """Return *n* kibibytes as an integer number of bytes."""
+    return int(n * KiB)
+
+
+def mib(n: float) -> int:
+    """Return *n* mebibytes as an integer number of bytes."""
+    return int(n * MiB)
+
+
+def gib(n: float) -> int:
+    """Return *n* gibibytes as an integer number of bytes."""
+    return int(n * GiB)
+
+
+def gb(n: float) -> int:
+    """Return *n* decimal gigabytes as an integer number of bytes.
+
+    The paper's capacities (8 GB local, 64 GB pool, 96 GB budget) are
+    round decimal numbers; we follow the paper.
+    """
+    return int(n * GB)
+
+
+# --- time constructors -----------------------------------------------------
+
+NS = 1.0
+US = 1_000.0
+MS = 1_000_000.0
+S = 1_000_000_000.0
+
+
+def ns(t: float) -> float:
+    """Return *t* nanoseconds in simulator time units (identity)."""
+    return float(t)
+
+
+def us(t: float) -> float:
+    """Return *t* microseconds in simulator time units."""
+    return float(t) * US
+
+
+def ms(t: float) -> float:
+    """Return *t* milliseconds in simulator time units."""
+    return float(t) * MS
+
+
+def seconds(t: float) -> float:
+    """Return *t* seconds in simulator time units."""
+    return float(t) * S
+
+
+# --- bandwidth constructors -------------------------------------------------
+
+
+def gbps(rate: float) -> float:
+    """Return *rate* GB/s as bytes-per-nanosecond (identity conversion).
+
+    ``gbps(97)`` is the paper's local-memory bandwidth from Table 1.
+    """
+    return float(rate)
+
+
+def mbps(rate: float) -> float:
+    """Return *rate* MB/s as bytes-per-nanosecond."""
+    return float(rate) / 1_000.0
+
+
+def bandwidth_to_gbps(rate: float) -> float:
+    """Convert bytes-per-nanosecond back to GB/s for reporting (identity)."""
+    return float(rate)
+
+
+# --- formatting helpers ------------------------------------------------------
+
+_SIZE_STEPS = (
+    (TB, "TB"),
+    (GB, "GB"),
+    (MB, "MB"),
+    (KB, "KB"),
+)
+
+
+def fmt_size(nbytes: float) -> str:
+    """Render a byte count using decimal units, e.g. ``fmt_size(96e9)`` -> '96.0GB'."""
+    nbytes = float(nbytes)
+    for step, suffix in _SIZE_STEPS:
+        if abs(nbytes) >= step:
+            return f"{nbytes / step:.1f}{suffix}"
+    return f"{nbytes:.0f}B"
+
+
+def fmt_time(t_ns: float) -> str:
+    """Render a duration in the most natural unit, e.g. ``fmt_time(2.5e6)`` -> '2.500ms'."""
+    t_ns = float(t_ns)
+    if abs(t_ns) >= S:
+        return f"{t_ns / S:.3f}s"
+    if abs(t_ns) >= MS:
+        return f"{t_ns / MS:.3f}ms"
+    if abs(t_ns) >= US:
+        return f"{t_ns / US:.3f}us"
+    return f"{t_ns:.1f}ns"
+
+
+def fmt_bandwidth(rate: float) -> str:
+    """Render a bandwidth (bytes/ns) as GB/s, e.g. ``fmt_bandwidth(34.5)`` -> '34.5GB/s'."""
+    return f"{bandwidth_to_gbps(rate):.1f}GB/s"

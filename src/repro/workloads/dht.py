@@ -1,0 +1,230 @@
+"""A sharded hash table over the pool, with two GET strategies.
+
+The related-work section points at RDMA key-value stores (Pilaf, HERD,
+FaRM) whose central design question was: should a GET *read the remote
+structure directly* (one-sided) or *ship the lookup to the owner*
+(RPC)?  Logical pools inherit the same choice with better constants:
+
+* **one-sided GET** — the requester walks the remote structure itself:
+  one fabric round trip for the bucket header, a second for the value.
+  No owner CPU involved; latency = 2 x remote access.
+* **shipped GET** — a request message goes to the shard's home, which
+  walks its *local* structure (local-DRAM latency) and returns the
+  value; latency = 1 fabric round trip + local work + value transfer.
+  Costs owner CPU; wins when the structure walk has dependent steps.
+
+Shards are placed local-first at their home servers, so the home's
+walks are local — the logical pool's defining property doing real
+application work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import typing as _t
+
+from repro.core.pool import LogicalMemoryPool
+from repro.errors import CapacityError, ConfigError
+from repro.mem.interleave import PinnedPlacement
+from repro.units import mib
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.process import Process
+
+#: bytes of one bucket header (key hash, offset, length — one cache line)
+BUCKET_BYTES = 64
+#: bytes of one RPC request message
+REQUEST_BYTES = 64
+
+
+def _one_way(route) -> float:
+    """Latency of a one-way message over *route*.
+
+    The Table 2 loaded-latency curves describe a full load round trip
+    (request out, data back); a fire-and-forget message crosses the
+    fabric once, i.e. half of it."""
+    return route.loaded_latency() / 2.0
+
+
+@dataclasses.dataclass(frozen=True)
+class GetTiming:
+    """Latency decomposition of one GET."""
+
+    strategy: str
+    total_ns: float
+    fabric_round_trips: int
+    owner_cpu_involved: bool
+
+
+class ShardedHashTable:
+    """Hash-partitioned table: shard i lives on server i mod N."""
+
+    def __init__(
+        self,
+        pool: LogicalMemoryPool,
+        shard_capacity: int = mib(64),
+        name: str = "dht",
+    ) -> None:
+        self.pool = pool
+        self.engine = pool.engine
+        self.name = name
+        self.server_ids = sorted(pool.regions)
+        if not self.server_ids:
+            raise ConfigError("pool has no servers")
+        self._shards: list[dict[bytes, tuple[int, int]]] = []
+        self._logs = []
+        self._tails = []
+        for i, sid in enumerate(self.server_ids):
+            log = pool.allocate(
+                shard_capacity,
+                requester_id=sid,
+                name=f"{name}.s{i}",
+                placement=PinnedPlacement(sid),
+            )
+            self._logs.append(log)
+            self._shards.append({})
+            self._tails.append(0)
+        self.puts = 0
+        self.gets_onesided = 0
+        self.gets_shipped = 0
+
+    # -- routing ------------------------------------------------------------
+
+    def shard_of(self, key: bytes) -> int:
+        digest = hashlib.blake2b(key, digest_size=4).digest()
+        return int.from_bytes(digest, "big") % len(self.server_ids)
+
+    def home_of(self, key: bytes) -> int:
+        return self.server_ids[self.shard_of(key)]
+
+    # -- put (always shipped: the home owns its index) -----------------------------
+
+    def put(self, server_id: int, key: bytes, value: bytes) -> "Process":
+        """Insert/overwrite; the process returns the shard index."""
+        if not key:
+            raise ConfigError("empty keys are not allowed")
+        return self.engine.process(self._put_body(server_id, key, value), name=f"{self.name}.put")
+
+    def _put_body(self, server_id: int, key: bytes, value: bytes):
+        shard = self.shard_of(key)
+        home = self.server_ids[shard]
+        log = self._logs[shard]
+        if self._tails[shard] + len(value) > log.size:
+            raise CapacityError(f"{self.name} shard {shard} is full")
+        # ship the request to the home (unless we are the home)
+        if home != server_id:
+            route = self.pool.switch.write_route(
+                self.pool.deployment.server(server_id).name,
+                self.pool.deployment.server(home).name,
+            )
+            yield self.engine.timeout(_one_way(route))
+            yield self.pool.fluid.transfer(
+                route.path, REQUEST_BYTES + len(value), tag=f"{self.name}.putmsg"
+            )
+        offset = self._tails[shard]
+        self._tails[shard] += len(value)
+        # the home writes value + bucket locally
+        yield self.pool.write(home, log, offset, value)
+        self._shards[shard][key] = (offset, len(value))
+        self.puts += 1
+        return shard
+
+    # -- the two GET strategies --------------------------------------------------
+
+    def get_onesided(self, server_id: int, key: bytes) -> "Process":
+        """Requester walks the remote structure itself; the process
+        returns (value | None, GetTiming)."""
+        return self.engine.process(
+            self._get_onesided_body(server_id, key), name=f"{self.name}.get1s"
+        )
+
+    def _get_onesided_body(self, server_id: int, key: bytes):
+        started = self.engine.now
+        self.gets_onesided += 1
+        shard = self.shard_of(key)
+        home = self.server_ids[shard]
+        requester = self.pool.deployment.server(server_id).name
+        owner = self.pool.deployment.server(home).name
+        route = self.pool.switch.read_route(requester, owner)
+        round_trips = 0
+        # 1) read the bucket header
+        yield self.engine.timeout(route.loaded_latency())
+        yield self.pool.fluid.transfer(route.path, BUCKET_BYTES, tag=f"{self.name}.bucket")
+        round_trips += 1
+        entry = self._shards[shard].get(key)
+        if entry is None:
+            timing = GetTiming("one-sided", self.engine.now - started, round_trips, False)
+            return None, timing
+        offset, length = entry
+        # 2) read the value
+        data = yield self.pool.read(server_id, self._logs[shard], offset, length)
+        round_trips += 1
+        timing = GetTiming("one-sided", self.engine.now - started, round_trips, False)
+        return data, timing
+
+    def get_shipped(self, server_id: int, key: bytes) -> "Process":
+        """Ship the lookup to the home; the process returns
+        (value | None, GetTiming)."""
+        return self.engine.process(
+            self._get_shipped_body(server_id, key), name=f"{self.name}.getrpc"
+        )
+
+    def _get_shipped_body(self, server_id: int, key: bytes):
+        started = self.engine.now
+        self.gets_shipped += 1
+        shard = self.shard_of(key)
+        home = self.server_ids[shard]
+        requester = self.pool.deployment.server(server_id).name
+        owner = self.pool.deployment.server(home).name
+        local = home == server_id
+        # request message to the home
+        if not local:
+            request_route = self.pool.switch.write_route(requester, owner)
+            yield self.engine.timeout(_one_way(request_route))
+            yield self.pool.fluid.transfer(
+                request_route.path, REQUEST_BYTES, tag=f"{self.name}.req"
+            )
+        entry = self._shards[shard].get(key)
+        if entry is None:
+            if not local:
+                response_route = self.pool.switch.read_route(requester, owner)
+                yield self.engine.timeout(_one_way(response_route))
+                yield self.pool.fluid.transfer(
+                    response_route.path, BUCKET_BYTES, tag=f"{self.name}.resp"
+                )
+            timing = GetTiming("shipped", self.engine.now - started, 0 if local else 1, True)
+            return None, timing
+        offset, length = entry
+        # the home walks and reads locally
+        data = yield self.pool.read(home, self._logs[shard], offset, length)
+        # response carries the value back
+        if not local:
+            response_route = self.pool.switch.read_route(requester, owner)
+            yield self.engine.timeout(_one_way(response_route))
+            yield self.pool.fluid.transfer(
+                response_route.path, length, tag=f"{self.name}.resp"
+            )
+        timing = GetTiming("shipped", self.engine.now - started, 0 if local else 1, True)
+        return data, timing
+
+    def release(self) -> None:
+        for log in self._logs:
+            if not log.freed:
+                self.pool.free(log)
+
+
+def compare_get_strategies(
+    table: ShardedHashTable,
+    server_id: int,
+    keys: _t.Sequence[bytes],
+) -> dict[str, float]:
+    """Mean GET latency per strategy over *keys* (ns)."""
+    engine = table.engine
+    totals = {"one-sided": 0.0, "shipped": 0.0}
+    for key in keys:
+        _value, timing = engine.run(table.get_onesided(server_id, key))
+        totals["one-sided"] += timing.total_ns
+        _value, timing = engine.run(table.get_shipped(server_id, key))
+        totals["shipped"] += timing.total_ns
+    return {k: v / len(keys) for k, v in totals.items()}

@@ -1,0 +1,50 @@
+"""Shared fixtures: small deployments and pools on fresh engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pool import LogicalMemoryPool, PhysicalMemoryPool
+from repro.sim.engine import Engine
+from repro.sim.fluid import FluidModel
+from repro.topology.builder import build_logical, build_physical
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine(seed=42)
+
+
+@pytest.fixture
+def fluid(engine: Engine) -> FluidModel:
+    return FluidModel(engine)
+
+
+@pytest.fixture
+def logical_deployment():
+    return build_logical("link0")
+
+
+@pytest.fixture
+def logical_pool(logical_deployment) -> LogicalMemoryPool:
+    return LogicalMemoryPool(logical_deployment)
+
+
+@pytest.fixture
+def physical_cache_deployment():
+    return build_physical("link0", cache=True)
+
+
+@pytest.fixture
+def physical_cache_pool(physical_cache_deployment) -> PhysicalMemoryPool:
+    return PhysicalMemoryPool(physical_cache_deployment)
+
+
+@pytest.fixture
+def physical_nocache_deployment():
+    return build_physical("link0", cache=False)
+
+
+@pytest.fixture
+def physical_nocache_pool(physical_nocache_deployment) -> PhysicalMemoryPool:
+    return PhysicalMemoryPool(physical_nocache_deployment)

@@ -1,0 +1,69 @@
+"""Tests for the capacity balancer (even out shared-region usage)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.inspect import describe_pool
+from repro.core.migration import CapacityBalancer
+from repro.core.pool import LogicalMemoryPool
+from repro.core.profiling import AccessProfiler
+from repro.errors import ConfigError
+from repro.units import gib, mib
+
+
+def test_no_moves_when_balanced(logical_pool, logical_deployment):
+    for sid in range(4):
+        logical_pool.allocate(gib(2), requester_id=sid)
+    balancer = CapacityBalancer(logical_pool)
+    assert balancer.plan() == []
+    report = logical_deployment.run(balancer.rebalance())
+    assert report.moves == 0
+
+
+def test_rebalance_reduces_imbalance(logical_pool, logical_deployment):
+    logical_pool.allocate(gib(8), requester_id=0)  # everything on server 0
+    balancer = CapacityBalancer(logical_pool, tolerance=1.25)
+    before = describe_pool(logical_pool).imbalance()
+    report = logical_deployment.run(balancer.rebalance())
+    after = describe_pool(logical_pool).imbalance()
+    assert before == pytest.approx(4.0)
+    assert report.moves > 0
+    assert after < before
+    assert after <= 1.25 + 0.1
+
+
+def test_rebalance_moves_cold_not_hot(logical_pool, logical_deployment):
+    profiler = AccessProfiler()
+    logical_pool.attach_profiler(profiler)
+    hot = logical_pool.allocate(mib(512), requester_id=0, name="hot")
+    cold = logical_pool.allocate(mib(512), requester_id=0, name="cold")
+    for _ in range(6):
+        logical_pool.access_segments(0, hot)
+    balancer = CapacityBalancer(logical_pool, profiler, tolerance=1.0)
+    logical_deployment.run(balancer.rebalance())
+    # the hot buffer kept more of its extents at home than the cold one
+    assert logical_pool.locality_fraction(0, hot) >= logical_pool.locality_fraction(0, cold)
+    assert logical_pool.locality_fraction(0, cold) < 1.0
+
+
+def test_rebalance_preserves_data(logical_pool, logical_deployment):
+    buffer = logical_pool.allocate(gib(4), requester_id=2, name="payload")
+    logical_deployment.run(logical_pool.write(2, buffer, 123, b"rebalanced"))
+    balancer = CapacityBalancer(logical_pool, tolerance=1.0)
+    logical_deployment.run(balancer.rebalance())
+    data = logical_deployment.run(logical_pool.read(0, buffer, 123, 10))
+    assert data == b"rebalanced"
+
+
+def test_plan_respects_max_moves(logical_pool):
+    logical_pool.allocate(gib(8), requester_id=1)
+    balancer = CapacityBalancer(logical_pool, tolerance=1.0, max_moves=3)
+    assert len(balancer.plan()) <= 3
+
+
+def test_config_validation(logical_pool):
+    with pytest.raises(ConfigError):
+        CapacityBalancer(logical_pool, tolerance=0.5)
+    with pytest.raises(ConfigError):
+        CapacityBalancer(logical_pool, max_moves=0)

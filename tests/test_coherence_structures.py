@@ -1,0 +1,151 @@
+"""Tests for the coherent-memory data structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coherence.protocol import CoherenceDirectory
+from repro.core.coherence.structures import MessageQueue, SeqLock, SharedCounter
+from repro.errors import ConfigError
+from repro.units import mib
+
+
+@pytest.fixture
+def directory(logical_deployment) -> CoherenceDirectory:
+    return CoherenceDirectory(logical_deployment, region_bytes=mib(1))
+
+
+# --- shared counter ------------------------------------------------------------
+
+
+def test_counter_concurrent_adds_never_lose_updates(directory, logical_deployment):
+    counter = SharedCounter(directory, 0)
+    engine = logical_deployment.engine
+
+    def adder(host):
+        for _ in range(20):
+            yield counter.add(host)
+
+    procs = [engine.process(adder(h)) for h in range(4)]
+    engine.run(engine.all_of(procs))
+    assert counter.peek() == 80
+    assert engine.run(counter.read(0)) == 80
+
+
+def test_counter_add_returns_previous(directory, logical_deployment):
+    counter = SharedCounter(directory, 5)
+    assert logical_deployment.run(counter.add(0, amount=10)) == 0
+    assert logical_deployment.run(counter.add(1, amount=5)) == 10
+    assert counter.peek() == 15
+
+
+# --- seqlock ----------------------------------------------------------------
+
+
+def test_seqlock_readers_see_consistent_snapshots(directory, logical_deployment):
+    """Writers publish (n, n*2) pairs; a torn read would break the
+    invariant snapshot[1] == 2*snapshot[0]."""
+    lock = SeqLock(directory, 0, payload_lines=[1, 2])
+    engine = logical_deployment.engine
+    torn: list[tuple] = []
+
+    def writer():
+        for n in range(1, 9):
+            yield lock.write(0, (n, n * 2))
+            yield engine.timeout(500.0)
+
+    def reader(host):
+        for _ in range(12):
+            snapshot = yield lock.read(host)
+            if snapshot[1] != snapshot[0] * 2:
+                torn.append(snapshot)
+            yield engine.timeout(300.0)
+
+    procs = [engine.process(writer())]
+    procs += [engine.process(reader(h)) for h in (1, 2, 3)]
+    engine.run(engine.all_of(procs))
+    assert torn == []
+    assert lock.writes == 8
+
+
+def test_seqlock_validates_shapes(directory):
+    with pytest.raises(ConfigError):
+        SeqLock(directory, 0, payload_lines=[])
+    with pytest.raises(ConfigError):
+        SeqLock(directory, 1, payload_lines=[1, 2])
+    lock = SeqLock(directory, 0, payload_lines=[1])
+    with pytest.raises(ConfigError):
+        lock.write(0, (1, 2))
+
+
+# --- message queue --------------------------------------------------------------
+
+
+def test_queue_fifo_single_producer_consumer(directory, logical_deployment):
+    queue = MessageQueue(directory, 0, capacity=4)
+    engine = logical_deployment.engine
+    for value in (10, 20, 30):
+        engine.run(queue.put(0, value))
+    assert queue.depth() == 3
+    assert engine.run(queue.get(1)) == 10
+    assert engine.run(queue.get(2)) == 20
+    assert engine.run(queue.get(3)) == 30
+    assert queue.depth() == 0
+
+
+def test_queue_blocks_when_full_until_drained(directory, logical_deployment):
+    queue = MessageQueue(directory, 0, capacity=2)
+    engine = logical_deployment.engine
+    engine.run(queue.put(0, 1))
+    engine.run(queue.put(0, 2))
+
+    done: list[int] = []
+
+    def producer():
+        yield queue.put(0, 3)  # must wait for a slot
+        done.append(1)
+
+    def consumer():
+        yield engine.timeout(20_000.0)
+        value = yield queue.get(1)
+        done.append(value)
+
+    procs = [engine.process(producer()), engine.process(consumer())]
+    engine.run(engine.all_of(procs))
+    assert queue.full_retries > 0
+    assert 1 in done
+    # queue now holds 2 and 3
+    assert engine.run(queue.get(2)) == 2
+    assert engine.run(queue.get(3)) == 3
+
+
+def test_queue_mpmc_no_loss_no_duplication(directory, logical_deployment):
+    queue = MessageQueue(directory, 0, capacity=4)
+    engine = logical_deployment.engine
+    received: list[int] = []
+
+    def producer(host, base):
+        for i in range(6):
+            yield queue.put(host, base + i)
+
+    def consumer(host):
+        for _ in range(6):
+            value = yield queue.get(host)
+            received.append(value)
+
+    procs = [
+        engine.process(producer(0, 100)),
+        engine.process(producer(1, 200)),
+        engine.process(consumer(2)),
+        engine.process(consumer(3)),
+    ]
+    engine.run(engine.all_of(procs))
+    assert sorted(received) == sorted(list(range(100, 106)) + list(range(200, 206)))
+    # per-producer FIFO order preserved
+    from_one = [v for v in received if v < 200]
+    assert from_one == sorted(from_one)
+
+
+def test_queue_validates_capacity(directory):
+    with pytest.raises(ConfigError):
+        MessageQueue(directory, 0, capacity=0)

@@ -1,0 +1,145 @@
+"""Tests for the config module: size parsing and spec round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import (
+    deployment_from_dict,
+    deployment_to_dict,
+    load_deployment,
+    multirack_from_dict,
+    parse_size,
+)
+from repro.errors import ConfigError
+from repro.topology.specs import DeploymentKind
+from repro.units import GiB, MiB
+
+
+# --- size parsing ------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("24GiB", 24 * GiB),
+        ("8GB", 8 * 10**9),
+        ("512MiB", 512 * MiB),
+        ("1.5GiB", int(1.5 * GiB)),
+        ("100B", 100),
+        ("2TiB", 2 << 40),
+        (4096, 4096),
+    ],
+)
+def test_parse_size_accepts_common_forms(text, expected):
+    assert parse_size(text) == expected
+
+
+@pytest.mark.parametrize("bad", ["-1GiB", "12 parsecs", "GiB", "", True, -5, 1.5, None])
+def test_parse_size_rejects_garbage(bad):
+    with pytest.raises(ConfigError):
+        parse_size(bad)
+
+
+# --- deployment specs -----------------------------------------------------------
+
+
+def test_deployment_from_minimal_dict():
+    spec = deployment_from_dict({"kind": "logical"})
+    assert spec.kind is DeploymentKind.LOGICAL
+    assert spec.server_count == 4  # dataclass default
+
+
+def test_deployment_full_round_trip():
+    spec = deployment_from_dict(
+        {
+            "kind": "physical-cache",
+            "server_count": 6,
+            "server_dram": "8GiB",
+            "pool_dram": "64GiB",
+            "link": "link1",
+            "pool_link_width": 2.0,
+            "core_count": 12,
+            "cache_page": "2MiB",
+            "switch_ports": 16,
+        }
+    )
+    assert spec.pool_dram_bytes == 64 * GiB
+    again = deployment_from_dict(deployment_to_dict(spec))
+    assert again == spec
+
+
+def test_deployment_rejects_unknown_keys():
+    with pytest.raises(ConfigError, match="unknown deployment key"):
+        deployment_from_dict({"kind": "logical", "serverz": 4})
+
+
+def test_deployment_rejects_unknown_kind():
+    with pytest.raises(ConfigError, match="unknown deployment kind"):
+        deployment_from_dict({"kind": "hybrid"})
+
+
+def test_deployment_validation_still_applies():
+    with pytest.raises(ConfigError):
+        deployment_from_dict({"kind": "physical-cache"})  # no pool_dram
+
+
+def test_load_deployment_from_json_string():
+    spec = load_deployment(json.dumps({"kind": "logical", "server_dram": "24GiB"}))
+    assert spec.server_dram_bytes == 24 * GiB
+
+
+def test_load_deployment_from_file(tmp_path):
+    path = tmp_path / "dep.json"
+    path.write_text(json.dumps({"kind": "logical", "link": "link1"}))
+    assert load_deployment(str(path)).link == "link1"
+
+
+def test_load_deployment_errors():
+    with pytest.raises(ConfigError, match="cannot read"):
+        load_deployment("/does/not/exist.json")
+    with pytest.raises(ConfigError, match="invalid JSON"):
+        load_deployment("{not json")
+    with pytest.raises(ConfigError, match="JSON object"):
+        load_deployment("[1, 2]")
+
+
+# --- multirack specs --------------------------------------------------------
+
+
+def test_multirack_from_dict():
+    spec = multirack_from_dict(
+        {"racks": 8, "servers_per_rack": 16, "server_dram": "256GiB", "trunk_width": 8}
+    )
+    assert spec.total_servers == 128
+    assert spec.trunk_width == 8.0
+
+
+def test_multirack_rejects_unknown_keys():
+    with pytest.raises(ConfigError, match="unknown multirack key"):
+        multirack_from_dict({"rackz": 2})
+
+
+# --- property: to_dict/from_dict is the identity ---------------------------------
+
+
+@given(
+    kind=st.sampled_from(["logical", "physical-cache", "physical-nocache"]),
+    servers=st.integers(1, 16),
+    dram_gib=st.integers(1, 64),
+    link=st.sampled_from(["link0", "link1"]),
+)
+def test_round_trip_is_identity(kind, servers, dram_gib, link):
+    data = {
+        "kind": kind,
+        "server_count": servers,
+        "server_dram": dram_gib * GiB,
+        "link": link,
+    }
+    if kind != "logical":
+        data["pool_dram"] = 64 * GiB
+    spec = deployment_from_dict(data)
+    assert deployment_from_dict(deployment_to_dict(spec)) == spec

@@ -1,0 +1,147 @@
+"""Tests for the shared-region sizing policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sizing import (
+    AppDemand,
+    DemandDrivenSizing,
+    GlobalOptimizerSizing,
+    POLICIES,
+    ServerCapacity,
+    StaticSizing,
+)
+from repro.errors import ConfigError
+from repro.units import gib
+
+
+def capacities(count=4, dram=gib(24), floor=gib(2)):
+    return [ServerCapacity(i, dram_bytes=dram, private_floor_bytes=floor) for i in range(count)]
+
+
+def test_static_sizes_by_fraction():
+    plan = StaticSizing(0.5).plan(
+        [AppDemand("a", 0, gib(10))], capacities()
+    )
+    assert plan.shared_bytes[0] == gib(12)
+    assert plan.satisfied["a"]
+
+
+def test_static_respects_private_floor():
+    plan = StaticSizing(1.0).plan([], capacities(floor=gib(4)))
+    assert all(v == gib(20) for v in plan.shared_bytes.values())
+
+
+def test_demand_driven_tracks_home_demand():
+    demands = [AppDemand("big", 0, gib(18)), AppDemand("small", 1, gib(2))]
+    plan = DemandDrivenSizing(headroom=0.0).plan(demands, capacities())
+    assert plan.shared_bytes[0] == gib(18)
+    assert plan.shared_bytes[1] == gib(2)
+    assert plan.shared_bytes[2] == 0
+
+
+def test_demand_driven_spreads_overflow():
+    demands = [AppDemand("huge", 0, gib(40))]  # exceeds one server's envelope
+    plan = DemandDrivenSizing(headroom=0.0).plan(demands, capacities())
+    assert plan.shared_bytes[0] == gib(22)  # clamped by the floor
+    assert plan.satisfied["huge"]
+
+
+def test_optimizer_places_everything_locally_when_possible():
+    demands = [AppDemand(f"a{i}", i, gib(10)) for i in range(4)]
+    plan = GlobalOptimizerSizing().plan(demands, capacities())
+    for demand in demands:
+        assert plan.satisfied[demand.app_id]
+        assert plan.local_fraction(demand) == pytest.approx(1.0, abs=0.01)
+
+
+def test_optimizer_spills_only_the_overflow():
+    demands = [AppDemand("big", 0, gib(30), access_rate=2.0)]
+    plan = GlobalOptimizerSizing().plan(demands, capacities())
+    assert plan.satisfied["big"]
+    # 22 GiB fits at home; 8 GiB must spill
+    assert plan.local_fraction(demands[0]) == pytest.approx(22 / 30, abs=0.01)
+
+
+def test_optimizer_prioritizes_value_under_pressure():
+    # total demand 100 GiB > capacity 88 GiB: someone must lose
+    demands = [
+        AppDemand("gold", 0, gib(50), access_rate=1.0, value=10.0),
+        AppDemand("bronze", 1, gib(50), access_rate=1.0, value=1.0),
+    ]
+    plan = GlobalOptimizerSizing().plan(demands, capacities())
+    assert plan.satisfied["gold"]
+    assert not plan.satisfied.get("bronze", False)
+
+
+def test_optimizer_beats_static_on_skew():
+    demands = [
+        AppDemand("hot", 0, gib(20), access_rate=8.0, value=4.0),
+        AppDemand("cold", 1, gib(20), access_rate=0.5, value=1.0),
+    ]
+    caps = capacities()
+
+    def score(plan):
+        return sum(
+            d.value * d.access_rate * plan.local_fraction(d) for d in demands
+        )
+
+    optimal = score(GlobalOptimizerSizing().plan(demands, caps))
+    static = score(StaticSizing(0.5).plan(demands, caps))
+    assert optimal >= static - 1e-6
+    assert optimal > 0
+
+
+def test_optimizer_handles_empty_inputs():
+    plan = GlobalOptimizerSizing().plan([], capacities())
+    assert plan.objective == 0.0
+    plan = GlobalOptimizerSizing().plan([AppDemand("a", 0, gib(1))], [])
+    assert not plan.satisfied["a"]
+
+
+def test_plan_total_shared():
+    plan = StaticSizing(0.5).plan([], capacities(count=2))
+    assert plan.total_shared() == 2 * gib(12)
+
+
+def test_demand_validation():
+    with pytest.raises(ConfigError):
+        AppDemand("x", 0, -1)
+    with pytest.raises(ConfigError):
+        ServerCapacity(0, dram_bytes=gib(1), private_floor_bytes=gib(2))
+    with pytest.raises(ConfigError):
+        StaticSizing(1.5)
+    with pytest.raises(ConfigError):
+        DemandDrivenSizing(headroom=-0.1)
+    with pytest.raises(ConfigError):
+        GlobalOptimizerSizing(shared_cost=-1.0)
+
+
+def test_policy_registry():
+    assert set(POLICIES) == {"static", "demand-driven", "global-optimizer"}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 20), min_size=1, max_size=5),
+    homes=st.lists(st.integers(0, 3), min_size=5, max_size=5),
+)
+def test_plans_never_overcommit_servers(sizes, homes):
+    """Every policy's placement fits inside its own shared sizes."""
+    demands = [
+        AppDemand(f"a{i}", homes[i], gib(size))
+        for i, size in enumerate(sizes)
+    ]
+    caps = capacities()
+    for policy in (StaticSizing(0.7), DemandDrivenSizing(), GlobalOptimizerSizing()):
+        plan = policy.plan(demands, caps)
+        used: dict[int, int] = {}
+        for placed in plan.placement.values():
+            for sid, nbytes in placed.items():
+                used[sid] = used.get(sid, 0) + nbytes
+        for sid, nbytes in used.items():
+            assert nbytes <= plan.shared_bytes[sid] + gib(1) // 1000  # rounding slack
+        for cap in caps:
+            assert plan.shared_bytes[cap.server_id] <= cap.max_shared_bytes

@@ -1,0 +1,250 @@
+"""Tests for the fabric: switch routing, transactions, PBR graphs,
+transport, and incast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fabric.incast import measure_incast
+from repro.fabric.messages import (
+    BackInvalidate,
+    BackInvalidateResponse,
+    MemRead,
+    MemReadResponse,
+    MemWrite,
+    is_request,
+    is_response,
+    response_type,
+)
+from repro.fabric.routing import FabricGraph
+from repro.fabric.switch import FabricSwitch
+from repro.hw.link import LINK_PRESETS
+from repro.hw.server import Server
+from repro.sim.engine import Engine
+from repro.sim.fluid import FluidModel
+from repro.units import gib, mib
+
+
+def make_rack(servers=2, port_count=32, backplane=None):
+    engine = Engine()
+    fluid = FluidModel(engine)
+    switch = FabricSwitch(engine, fluid, port_count=port_count, backplane_rate=backplane)
+    racked = [
+        Server(engine, fluid, i, gib(24), LINK_PRESETS["link0"]) for i in range(servers)
+    ]
+    for server in racked:
+        switch.attach(server.name, server.link, server.dram)
+    return engine, fluid, switch, racked
+
+
+# --- messages ---------------------------------------------------------------
+
+
+def test_transaction_ids_are_unique():
+    a = MemRead(requester="s0", target="s1")
+    b = MemRead(requester="s0", target="s1")
+    assert a.tid != b.tid
+
+
+def test_request_response_classification():
+    read = MemRead(requester="a", target="b")
+    assert is_request(read) and not is_response(read)
+    assert response_type(read) is MemReadResponse
+    assert response_type(BackInvalidate(requester="a", target="b")) is BackInvalidateResponse
+    with pytest.raises(TypeError):
+        response_type(MemReadResponse(requester="a", target="b"))
+
+
+def test_message_kind_property():
+    assert MemWrite(requester="a", target="b").kind == "MemWrite"
+
+
+# --- switch ------------------------------------------------------------------
+
+
+def test_local_route_avoids_fabric():
+    _engine, _fluid, switch, servers = make_rack()
+    route = switch.read_route("server0", "server0")
+    assert not route.remote
+    assert route.path == (servers[0].dram.channel,)
+    assert route.loaded_latency() == pytest.approx(82.0)
+
+
+def test_remote_route_crosses_both_links():
+    _engine, _fluid, switch, servers = make_rack()
+    route = switch.read_route("server0", "server1")
+    assert route.remote
+    names = [c.name for c in route.path]
+    assert names == ["server1.dram.chan", "server1.link.up", "server0.link.down"]
+    assert route.loaded_latency() == pytest.approx(163.0)
+
+
+def test_write_route_reverses_direction():
+    _engine, _fluid, switch, _servers = make_rack()
+    route = switch.write_route("server0", "server1")
+    names = [c.name for c in route.path]
+    assert names == ["server0.link.up", "server1.link.down", "server1.dram.chan"]
+
+
+def test_copy_route_touches_both_drams():
+    _engine, _fluid, switch, _servers = make_rack()
+    route = switch.copy_route("server0", "server1")
+    names = [c.name for c in route.path]
+    assert names[0] == "server0.dram.chan"
+    assert names[-1] == "server1.dram.chan"
+
+
+def test_backplane_inserted_when_configured():
+    _engine, _fluid, switch, _servers = make_rack(backplane=100.0)
+    route = switch.read_route("server0", "server1")
+    assert any("backplane" in c.name for c in route.path)
+
+
+def test_port_exhaustion():
+    engine, fluid, switch, _servers = make_rack(servers=2, port_count=2)
+    extra = Server(engine, fluid, 9, gib(1), LINK_PRESETS["link0"])
+    with pytest.raises(ConfigError, match="out of ports"):
+        switch.attach(extra.name, extra.link, extra.dram)
+
+
+def test_duplicate_attach_rejected():
+    _engine, _fluid, switch, servers = make_rack()
+    with pytest.raises(ConfigError):
+        switch.attach("server0", servers[0].link, servers[0].dram)
+
+
+def test_unknown_endpoint_rejected():
+    _engine, _fluid, switch, _servers = make_rack()
+    with pytest.raises(ConfigError, match="unknown endpoint"):
+        switch.read_route("server0", "nowhere")
+
+
+def test_detach_frees_port():
+    _engine, _fluid, switch, _servers = make_rack(servers=2, port_count=2)
+    assert switch.ports_free == 0
+    switch.detach("server1")
+    assert switch.ports_free == 1
+
+
+# --- fabric graph (PBR) ----------------------------------------------------------
+
+
+def make_two_switch_fabric():
+    engine = Engine()
+    fluid = FluidModel(engine)
+    fabric = FabricGraph(engine, fluid)
+    fabric.add_switch("sw0")
+    fabric.add_switch("sw1")
+    for name in ("h0", "h1", "h2"):
+        fabric.add_endpoint(name)
+    fabric.connect("h0", "sw0", bandwidth=34.5)
+    fabric.connect("h1", "sw0", bandwidth=34.5)
+    fabric.connect("h2", "sw1", bandwidth=34.5)
+    fabric.connect("sw0", "sw1", bandwidth=68.0)
+    return engine, fabric
+
+
+def test_pbr_route_spans_switches():
+    _engine, fabric = make_two_switch_fabric()
+    route = fabric.route("h0", "h2")
+    assert route.nodes == ("h0", "sw0", "sw1", "h2")
+    assert route.hops == 3
+    assert route.hop_latency == pytest.approx(75.0)
+
+
+def test_same_switch_route_is_short():
+    _engine, fabric = make_two_switch_fabric()
+    assert fabric.route("h0", "h1").hops == 2
+
+
+def test_self_route_is_empty():
+    _engine, fabric = make_two_switch_fabric()
+    route = fabric.route("h0", "h0")
+    assert route.path == ()
+
+
+def test_no_path_raises():
+    engine = Engine()
+    fabric = FabricGraph(engine, FluidModel(engine))
+    fabric.add_endpoint("a")
+    fabric.add_endpoint("b")
+    with pytest.raises(ConfigError, match="no fabric path"):
+        fabric.route("a", "b")
+
+
+def test_graph_transfer_times_cross_trunk():
+    engine, fabric = make_two_switch_fabric()
+    done = fabric.transfer("h0", "h2", 34.5e6)
+    engine.run(done)
+    assert engine.now == pytest.approx(1e6, rel=1e-6)
+
+
+def test_graph_port_exhaustion():
+    engine = Engine()
+    fabric = FabricGraph(engine, FluidModel(engine))
+    fabric.add_endpoint("a")  # endpoints have 1 port
+    fabric.add_endpoint("b")
+    fabric.add_endpoint("c")
+    fabric.connect("a", "b", bandwidth=1.0)
+    with pytest.raises(ConfigError, match="out of ports"):
+        fabric.connect("a", "c", bandwidth=1.0)
+
+
+def test_bisection_bandwidth():
+    _engine, fabric = make_two_switch_fabric()
+    # h0,h1 -> h2 is limited by h2's single 34.5 link
+    assert fabric.bisection_bandwidth(["h0", "h1"], ["h2"]) == pytest.approx(34.5)
+
+
+# --- transport ----------------------------------------------------------------
+
+
+def test_transport_moves_real_bytes(logical_deployment):
+    transport = logical_deployment.transport
+    engine = logical_deployment.engine
+    engine.run(transport.write("server0", "server2", 4096, b"payload"))
+    assert engine.run(transport.read("server1", "server2", 4096, 7)) == b"payload"
+    assert transport.bytes_written == 7
+
+
+def test_transport_copy_preserves_contents(logical_deployment):
+    transport = logical_deployment.transport
+    engine = logical_deployment.engine
+    engine.run(transport.write("server0", "server0", 0, b"ABCD" * 256))
+    engine.run(transport.copy("server0", 0, "server3", mib(1), 1024))
+    moved = logical_deployment.switch.device_of("server3").read_bytes(mib(1), 1024)
+    assert moved == b"ABCD" * 256
+
+
+def test_probe_latency_local_vs_remote(logical_deployment):
+    transport = logical_deployment.transport
+    engine = logical_deployment.engine
+    local = engine.run(transport.probe_latency("server0", "server0"))
+    remote = engine.run(transport.probe_latency("server0", "server1"))
+    assert local == pytest.approx(82.0 + 64 / 97.0, rel=0.01)
+    assert remote == pytest.approx(163.0 + 64 / 34.5, rel=0.01)
+
+
+# --- incast ------------------------------------------------------------------
+
+
+def test_incast_single_target_bottlenecks():
+    engine, fluid, switch, servers = make_rack(servers=4)
+    result = measure_incast(
+        engine, fluid, switch, servers[:3], ["server3"] * 3, gib(1)
+    )
+    assert result.aggregate_gbps == pytest.approx(34.5, rel=0.01)
+
+
+def test_incast_spread_targets_scale():
+    engine, fluid, switch, servers = make_rack(servers=4)
+    targets = ["server1", "server2", "server3", "server0"]
+    result = measure_incast(engine, fluid, switch, servers, targets, gib(1))
+    assert result.aggregate_gbps == pytest.approx(4 * 34.5, rel=0.01)
+
+
+def test_incast_requires_matching_targets():
+    engine, fluid, switch, servers = make_rack(servers=2)
+    with pytest.raises(ValueError):
+        measure_incast(engine, fluid, switch, servers, ["server0"], gib(1))

@@ -1,0 +1,148 @@
+"""Tests for the DRAM device model and its sparse backing store."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AddressError, ConfigError
+from repro.hw.dram import BackingStore, MemoryDevice
+from repro.hw.specs import LOCAL_DDR4
+from repro.sim.engine import Engine
+from repro.sim.fluid import FluidModel
+from repro.units import gib, mib
+
+
+def make_device(capacity=gib(1)) -> MemoryDevice:
+    engine = Engine()
+    return MemoryDevice(engine, FluidModel(engine), LOCAL_DDR4, capacity)
+
+
+# --- backing store -------------------------------------------------------------
+
+
+def test_unwritten_reads_as_zero():
+    store = BackingStore()
+    assert store.read(1000, 16) == bytes(16)
+    assert store.resident_bytes == 0
+
+
+def test_write_read_round_trip():
+    store = BackingStore()
+    store.write(5, b"hello world")
+    assert store.read(5, 11) == b"hello world"
+    assert store.read(0, 5) == bytes(5)
+
+
+def test_write_spanning_pages():
+    store = BackingStore()
+    data = bytes(range(256)) * 40  # 10240 bytes: crosses 4 KiB pages
+    store.write(4000, data)
+    assert store.read(4000, len(data)) == data
+
+
+def test_discard_drops_whole_pages():
+    store = BackingStore()
+    store.write(0, b"x" * 8192)
+    store.discard(0, 8192)
+    assert store.read(0, 8192) == bytes(8192)
+    assert store.resident_bytes == 0
+
+
+def test_discard_is_page_conservative():
+    """Partial pages at the edges are not discarded."""
+    store = BackingStore()
+    store.write(0, b"A" * 12288)
+    store.discard(100, 8000)  # only page 1 is fully inside
+    assert store.read(0, 100) == b"A" * 100  # page 0 kept
+
+
+def test_zero_range_handles_partial_edges():
+    store = BackingStore()
+    store.write(0, b"B" * 12288)
+    store.zero_range(100, 8000)
+    assert store.read(0, 100) == b"B" * 100
+    assert store.read(100, 8000) == bytes(8000)
+    assert store.read(8100, 12288 - 8100) == b"B" * (12288 - 8100)
+
+
+def test_copy_to_moves_only_resident_pages():
+    src = BackingStore()
+    dst = BackingStore()
+    src.write(0, b"data")
+    src.copy_to(dst, 0, 1 << 20, 1 << 30)  # a 1 GiB "copy"
+    assert dst.read(1 << 20, 4) == b"data"
+    # the untouched tail never materialized
+    assert dst.resident_bytes <= 8192
+
+
+def test_copy_to_zeroes_stale_destination():
+    src = BackingStore()
+    dst = BackingStore()
+    dst.write(500, b"stale-old-bytes")
+    src.copy_to(dst, 0, 0, 4096)
+    assert dst.read(500, 15) == bytes(15)
+
+
+def test_negative_addresses_rejected():
+    store = BackingStore()
+    with pytest.raises(AddressError):
+        store.write(-1, b"x")
+    with pytest.raises(AddressError):
+        store.read(-1, 4)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, 100_000), st.binary(min_size=1, max_size=9000)),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_store_matches_reference_model(writes):
+    """The sparse store behaves exactly like one big bytearray."""
+    store = BackingStore()
+    reference = bytearray(120_000)
+    for addr, data in writes:
+        store.write(addr, data)
+        reference[addr : addr + len(data)] = data
+    assert store.read(0, 120_000) == bytes(reference)
+
+
+# --- device ------------------------------------------------------------------
+
+
+def test_device_write_respects_capacity():
+    device = make_device(capacity=mib(2))
+    device.write_bytes(mib(2) - 4, b"abcd")
+    with pytest.raises(AddressError):
+        device.write_bytes(mib(2) - 3, b"abcd")
+    with pytest.raises(AddressError):
+        device.read_bytes(mib(2), 1)
+
+
+def test_device_requires_positive_capacity():
+    engine = Engine()
+    with pytest.raises(ConfigError):
+        MemoryDevice(engine, FluidModel(engine), LOCAL_DDR4, 0)
+
+
+def test_device_loaded_latency_rises_with_traffic():
+    engine = Engine()
+    fluid = FluidModel(engine)
+    device = MemoryDevice(engine, fluid, LOCAL_DDR4, gib(1))
+    idle = device.loaded_latency()
+    fluid.transfer([device.channel], gib(1))
+    loaded = device.loaded_latency()
+    assert idle == pytest.approx(82.0)
+    assert loaded > idle
+
+
+def test_device_transfer_times_match_bandwidth():
+    engine = Engine()
+    fluid = FluidModel(engine)
+    device = MemoryDevice(engine, fluid, LOCAL_DDR4, gib(64))
+    done = device.transfer(gib(1))
+    engine.run(done)
+    assert engine.now == pytest.approx(gib(1) / 97.0, rel=1e-6)

@@ -1,0 +1,87 @@
+"""Tests for the loaded-latency curves and MLP arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.hw.latency import LatencyModel, flat, mlp_rate_cap
+from repro.hw.specs import LINK0, LINK1, LOCAL_DDR4
+
+
+def test_curve_hits_published_endpoints():
+    model = LINK0.latency_model()
+    assert model.latency(0.0) == pytest.approx(163.0)
+    assert model.latency(1.0) == pytest.approx(418.0)
+
+
+def test_curve_is_monotone_convex_shape():
+    model = LINK1.latency_model()
+    samples = [model.latency(u / 20) for u in range(21)]
+    assert samples == sorted(samples)
+    # convex-ish: the last step is the largest
+    steps = [b - a for a, b in zip(samples, samples[1:])]
+    assert steps[-1] == max(steps)
+
+
+def test_latency_clamps_out_of_range_utilization():
+    model = LINK0.latency_model()
+    assert model.latency(-0.5) == model.latency(0.0)
+    assert model.latency(1.5) == model.latency(1.0)
+
+
+@given(st.floats(0.0, 1.0))
+def test_inverse_round_trips(u):
+    model = LatencyModel(100.0, 500.0, rho=0.9)
+    assert model.inverse(model.latency(u)) == pytest.approx(u, abs=1e-9)
+
+
+def test_inverse_clamps_outside_envelope():
+    model = LatencyModel(100.0, 500.0)
+    assert model.inverse(50.0) == 0.0
+    assert model.inverse(600.0) == 1.0
+
+
+def test_sweep_covers_full_range():
+    model = LOCAL_DDR4.latency_model()
+    sweep = model.sweep(points=5)
+    assert len(sweep) == 5
+    assert sweep[0] == (0.0, pytest.approx(82.0))
+    assert sweep[-1][0] == 1.0
+
+
+def test_sweep_needs_two_points():
+    with pytest.raises(ConfigError):
+        LatencyModel(1, 2).sweep(points=1)
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(ConfigError):
+        LatencyModel(-1.0, 10.0)
+    with pytest.raises(ConfigError):
+        LatencyModel(10.0, 5.0)
+    with pytest.raises(ConfigError):
+        LatencyModel(1.0, 2.0, rho=1.0)
+
+
+def test_flat_curve_is_load_independent():
+    model = flat(100.0)
+    assert model.latency(0.0) == pytest.approx(100.0, abs=1e-6)
+    assert model.latency(1.0) == pytest.approx(100.0, abs=1e-6)
+
+
+def test_mlp_rate_cap_is_littles_law():
+    # 24 lines x 64 B / 82 ns
+    assert mlp_rate_cap(82.0, 24) == pytest.approx(24 * 64 / 82.0)
+
+
+def test_mlp_rate_cap_zero_latency_unbounded():
+    assert mlp_rate_cap(0.0, 10) == float("inf")
+
+
+def test_one_core_cannot_saturate_local_memory():
+    """The reason the paper needs 14 cores."""
+    single = mlp_rate_cap(LOCAL_DDR4.lat_max, 24)
+    assert single < LOCAL_DDR4.bandwidth
+    assert 14 * single > LOCAL_DDR4.bandwidth

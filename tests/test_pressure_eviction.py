@@ -1,0 +1,105 @@
+"""Tests for the pressure evictor: reclaiming private memory (§5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.migration import PressureEvictor
+from repro.core.pool import LogicalMemoryPool
+from repro.core.profiling import AccessProfiler
+from repro.mem.interleave import PinnedPlacement
+from repro.units import gib, mib
+
+
+def test_reclaim_free_shared_is_cheap(logical_pool, logical_deployment):
+    """With nothing allocated, reclaiming is just a boundary move."""
+    evictor = PressureEvictor(logical_pool)
+    report = logical_deployment.run(evictor.reclaim(0, gib(4)))
+    assert report.satisfied
+    assert report.extents_evacuated == 0
+    assert logical_pool.regions[0].private_bytes >= gib(4)
+
+
+def test_reclaim_evacuates_occupied_extents(logical_deployment):
+    pool = LogicalMemoryPool(logical_deployment)
+    buffer = pool.allocate(gib(1), requester_id=0, name="squatter")
+    assert pool.locality_fraction(0, buffer) == 1.0
+    evictor = PressureEvictor(pool)
+    report = logical_deployment.run(evictor.reclaim(0, gib(24)))
+    assert report.satisfied
+    assert report.extents_evacuated == 4  # the whole squatter moved away
+    # the data is still addressable, now remote to server 0
+    assert pool.locality_fraction(0, buffer) == 0.0
+    data = logical_deployment.run(pool.read(0, buffer, 0, 16))
+    assert data == bytes(16)
+    # and server 0's memory really is private again
+    assert pool.regions[0].shared_bytes == 0
+
+
+def test_reclaim_preserves_contents(logical_deployment):
+    pool = LogicalMemoryPool(logical_deployment)
+    buffer = pool.allocate(mib(256), requester_id=1, name="data")
+    logical_deployment.run(pool.write(1, buffer, 100, b"pressure-proof"))
+    evictor = PressureEvictor(pool)
+    report = logical_deployment.run(evictor.reclaim(1, gib(24)))
+    assert report.satisfied
+    data = logical_deployment.run(pool.read(1, buffer, 100, 14))
+    assert data == b"pressure-proof"
+
+
+def test_small_reclaim_compacts_instead_of_evicting(logical_deployment):
+    """A shrink that still leaves room keeps everything local: the
+    blocking extent is relocated within the server, not evacuated."""
+    pool = LogicalMemoryPool(logical_deployment)
+    hot = pool.allocate(mib(256), requester_id=0, name="hot")  # bottom frames
+    cold = pool.allocate(mib(256), requester_id=0, name="cold")
+    evictor = PressureEvictor(pool)
+    report = logical_deployment.run(evictor.reclaim(0, mib(256)))
+    assert report.satisfied
+    assert report.extents_evacuated == 0  # compaction, not eviction
+    assert pool.locality_fraction(0, hot) == 1.0
+    assert pool.locality_fraction(0, cold) == 1.0
+
+
+def test_reclaim_keeps_hot_evicts_cold(logical_deployment):
+    """When the shrink leaves room for only one extent, the hottest
+    stays local and the cold one is evacuated."""
+    pool = LogicalMemoryPool(logical_deployment)
+    profiler = AccessProfiler()
+    pool.attach_profiler(profiler)
+    hot = pool.allocate(mib(256), requester_id=0, name="hot")
+    cold = pool.allocate(mib(256), requester_id=0, name="cold")
+    for _ in range(5):
+        pool.access_segments(0, hot)  # heat one of them up
+    evictor = PressureEvictor(pool, profiler)
+    # leave exactly one extent of shared capacity on server 0
+    region = pool.regions[0]
+    report = logical_deployment.run(
+        evictor.reclaim(0, region.shared_bytes - mib(256))
+    )
+    assert report.satisfied
+    assert report.extents_evacuated == 1
+    assert pool.locality_fraction(0, hot) == 1.0  # survivor is the hot one
+    assert pool.locality_fraction(0, cold) == 0.0
+
+
+def test_reclaim_partial_when_cluster_is_full(logical_deployment):
+    """If the other servers cannot absorb the evacuation, reclaim what
+    the free frames allow and report the shortfall."""
+    pool = LogicalMemoryPool(logical_deployment)
+    # fill every server completely
+    buffers = [
+        pool.allocate(gib(24), requester_id=sid, name=f"fill{sid}") for sid in range(4)
+    ]
+    evictor = PressureEvictor(pool)
+    report = logical_deployment.run(evictor.reclaim(0, gib(8)))
+    assert not report.satisfied
+    assert report.reclaimed_bytes == 0
+    assert not buffers[0].freed
+
+
+def test_reclaim_rounds_to_pages(logical_pool, logical_deployment):
+    evictor = PressureEvictor(logical_pool)
+    report = logical_deployment.run(evictor.reclaim(2, 1000))  # sub-page ask
+    assert report.reclaimed_bytes >= 1000
+    assert report.reclaimed_bytes % logical_pool.geometry.page_bytes == 0

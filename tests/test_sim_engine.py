@@ -1,0 +1,262 @@
+"""Unit tests for the event engine, events, and processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.sim.process import Interrupted
+
+
+def test_clock_starts_at_zero(engine):
+    assert engine.now == 0.0
+
+
+def test_timeout_advances_clock(engine):
+    done = engine.timeout(125.0)
+    engine.run(done)
+    assert engine.now == 125.0
+
+
+def test_timeout_carries_value(engine):
+    assert engine.run(engine.timeout(1.0, value="payload")) == "payload"
+
+
+def test_negative_timeout_rejected(engine):
+    with pytest.raises(SimulationError):
+        engine.timeout(-1.0)
+
+
+def test_events_fire_in_time_order(engine):
+    order: list[int] = []
+    for delay, tag in ((30.0, 3), (10.0, 1), (20.0, 2)):
+        event = engine.timeout(delay)
+        event.callbacks.append(lambda _e, t=tag: order.append(t))
+    engine.run()
+    assert order == [1, 2, 3]
+
+
+def test_ties_break_by_schedule_order(engine):
+    order: list[str] = []
+    for tag in "abc":
+        event = engine.timeout(5.0)
+        event.callbacks.append(lambda _e, t=tag: order.append(t))
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_time_stops_exactly(engine):
+    fired: list[float] = []
+    for delay in (10.0, 20.0, 30.0):
+        engine.timeout(delay).callbacks.append(lambda _e: fired.append(engine.now))
+    engine.run(until=20.0)
+    assert fired == [10.0, 20.0]
+    assert engine.now == 20.0
+
+
+def test_run_until_past_deadline_rejected(engine):
+    engine.run(until=50.0)
+    with pytest.raises(SimulationError):
+        engine.run(until=10.0)
+
+
+def test_event_cannot_trigger_twice(engine):
+    event = engine.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_value_before_trigger_raises(engine):
+    event = engine.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_failed_event_without_waiter_crashes_run(engine):
+    event = engine.event()
+    event.fail(ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        engine.run()
+
+
+def test_defused_failed_event_is_silent(engine):
+    event = engine.event()
+    event.fail(ValueError("boom"))
+    event.defuse()
+    engine.run()  # does not raise
+
+
+def test_process_returns_value(engine):
+    def body():
+        yield engine.timeout(10.0)
+        return 99
+
+    proc = engine.process(body())
+    assert engine.run(proc) == 99
+
+
+def test_process_sees_event_values(engine):
+    def body():
+        first = yield engine.timeout(1.0, value="a")
+        second = yield engine.timeout(1.0, value="b")
+        return first + second
+
+    assert engine.run(engine.process(body())) == "ab"
+
+
+def test_process_exception_propagates_to_waiter(engine):
+    def failing():
+        yield engine.timeout(1.0)
+        raise RuntimeError("inner")
+
+    def waiter():
+        try:
+            yield engine.process(failing())
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    assert engine.run(engine.process(waiter())) == "caught inner"
+
+
+def test_process_must_yield_events(engine):
+    def bad():
+        yield 42  # not an Event
+
+    with pytest.raises(SimulationError, match="must yield Events"):
+        engine.run(engine.process(bad()))
+
+
+def test_process_requires_generator(engine):
+    with pytest.raises(SimulationError, match="generator"):
+        engine.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_processes_wait_on_each_other(engine):
+    def producer():
+        yield engine.timeout(10.0)
+        return "made"
+
+    def consumer(prod):
+        value = yield prod
+        return f"got {value}"
+
+    prod = engine.process(producer())
+    cons = engine.process(consumer(prod))
+    assert engine.run(cons) == "got made"
+    assert engine.now == 10.0
+
+
+def test_waiting_on_already_processed_event(engine):
+    done = engine.timeout(5.0)
+    engine.run()
+
+    def late():
+        value = yield done
+        return value
+
+    # waiting on a processed event resumes immediately (next tick)
+    assert engine.run(engine.process(late())) is None
+    assert engine.now == 5.0
+
+
+def test_interrupt_raises_inside_process(engine):
+    log: list[str] = []
+
+    def sleeper():
+        try:
+            yield engine.timeout(1000.0)
+        except Interrupted as intr:
+            log.append(f"interrupted:{intr.cause}")
+        return "done"
+
+    proc = engine.process(sleeper())
+
+    def interrupter():
+        yield engine.timeout(10.0)
+        proc.interrupt("wakeup")
+
+    engine.process(interrupter())
+    assert engine.run(proc) == "done"
+    assert log == ["interrupted:wakeup"]
+    assert engine.now == pytest.approx(10.0)
+
+
+def test_interrupt_finished_process_rejected(engine):
+    def quick():
+        yield engine.timeout(1.0)
+
+    proc = engine.process(quick())
+    engine.run(proc)
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_any_of_fires_on_first(engine):
+    slow = engine.timeout(100.0, value="slow")
+    fast = engine.timeout(10.0, value="fast")
+    result = engine.run(engine.any_of([slow, fast]))
+    assert result == {fast: "fast"}
+    assert engine.now == 10.0
+
+
+def test_all_of_waits_for_every_event(engine):
+    a = engine.timeout(10.0, value=1)
+    b = engine.timeout(30.0, value=2)
+    result = engine.run(engine.all_of([a, b]))
+    assert result == {a: 1, b: 2}
+    assert engine.now == 30.0
+
+
+def test_all_of_fails_fast_on_error(engine):
+    def failing():
+        yield engine.timeout(5.0)
+        raise KeyError("dead")
+
+    ok = engine.timeout(50.0)
+    bad = engine.process(failing())
+    with pytest.raises(KeyError):
+        engine.run(engine.all_of([ok, bad]))
+
+
+def test_condition_rejects_foreign_engine(engine):
+    other = Engine()
+    with pytest.raises(SimulationError):
+        engine.all_of([other.timeout(1.0)])
+
+
+def test_run_until_event_deadlock_detected(engine):
+    never = engine.event()
+    with pytest.raises(DeadlockError):
+        engine.run(never)
+
+
+def test_step_on_empty_heap_raises(engine):
+    with pytest.raises(DeadlockError):
+        engine.step()
+
+
+def test_determinism_two_identical_runs():
+    def simulate() -> list[float]:
+        engine = Engine(seed=7)
+        times: list[float] = []
+
+        def body(name: str, delay: float):
+            for _ in range(3):
+                yield engine.timeout(delay)
+                times.append(engine.now)
+
+        engine.process(body("a", 3.0))
+        engine.process(body("b", 5.0))
+        engine.run()
+        return times
+
+    assert simulate() == simulate()
+
+
+def test_peek_reports_next_event_time(engine):
+    assert engine.peek() == float("inf")
+    engine.timeout(42.0)
+    assert engine.peek() == 42.0

@@ -1,0 +1,216 @@
+"""Tests for the max-min fair fluid bandwidth model.
+
+The fluid solver is the reproduction's measurement substrate, so these
+tests pin its arithmetic exactly: completion times of known scenarios,
+max-min fairness across bottlenecks, rate caps, and agreement with
+closed-form math on randomized cases (hypothesis).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.fluid import Capacity, FluidModel
+
+
+def make() -> tuple[Engine, FluidModel]:
+    engine = Engine()
+    return engine, FluidModel(engine)
+
+
+def test_single_flow_runs_at_capacity():
+    engine, fluid = make()
+    link = Capacity("link", 10.0)
+    done = fluid.transfer([link], 1000.0)
+    engine.run(done)
+    assert engine.now == pytest.approx(100.0)
+
+
+def test_flow_rate_cap_binds_below_capacity():
+    engine, fluid = make()
+    link = Capacity("link", 10.0)
+    done = fluid.transfer([link], 1000.0, rate_cap=2.0)
+    engine.run(done)
+    assert engine.now == pytest.approx(500.0)
+
+
+def test_two_equal_flows_share_fairly():
+    engine, fluid = make()
+    link = Capacity("link", 10.0)
+    a = fluid.transfer([link], 500.0)
+    b = fluid.transfer([link], 500.0)
+    engine.run(engine.all_of([a, b]))
+    # each gets 5.0 -> both finish at t=100
+    assert engine.now == pytest.approx(100.0)
+
+
+def test_short_flow_finishing_frees_bandwidth():
+    engine, fluid = make()
+    link = Capacity("link", 10.0)
+    short = fluid.transfer([link], 100.0)  # finishes at t=20 at rate 5
+    long = fluid.transfer([link], 1000.0)
+    engine.run(short)
+    assert engine.now == pytest.approx(20.0)
+    engine.run(long)
+    # long moved 100 bytes by t=20, then 900 more at rate 10
+    assert engine.now == pytest.approx(20.0 + 90.0)
+
+
+def test_capped_flow_leaves_residual_to_others():
+    engine, fluid = make()
+    link = Capacity("link", 10.0)
+    capped = fluid.transfer([link], 300.0, rate_cap=3.0)
+    greedy = fluid.transfer([link], 700.0)
+    engine.run(engine.all_of([capped, greedy]))
+    # capped runs at 3, greedy at 7 -> both finish at t=100
+    assert engine.now == pytest.approx(100.0)
+
+
+def test_multi_bottleneck_max_min_allocation():
+    engine, fluid = make()
+    # classic: flow A crosses both links, B only link1, C only link2
+    link1 = Capacity("l1", 10.0)
+    link2 = Capacity("l2", 10.0)
+    a = fluid.transfer([link1, link2], 5000.0)
+    b = fluid.transfer([link1], 5000.0)
+    c = fluid.transfer([link2], 5000.0)
+    # max-min: a=5, b=5, c=5 -> all finish at t=1000
+    engine.run(engine.all_of([a, b, c]))
+    assert engine.now == pytest.approx(1000.0)
+
+
+def test_asymmetric_bottlenecks():
+    engine, fluid = make()
+    narrow = Capacity("narrow", 2.0)
+    wide = Capacity("wide", 100.0)
+    through = fluid.transfer([narrow, wide], 200.0)  # rate 2
+    local = fluid.transfer([wide], 9800.0)  # rate 98
+    engine.run(engine.all_of([through, local]))
+    assert engine.now == pytest.approx(100.0)
+
+
+def test_zero_byte_transfer_completes_instantly():
+    engine, fluid = make()
+    link = Capacity("link", 10.0)
+    done = fluid.transfer([link], 0.0)
+    assert done.triggered
+    assert engine.run(done) == 0.0
+
+
+def test_empty_path_completes_instantly():
+    engine, fluid = make()
+    done = fluid.transfer([], 1000.0)
+    assert done.triggered
+
+
+def test_negative_size_rejected():
+    engine, fluid = make()
+    link = Capacity("link", 10.0)
+    with pytest.raises(SimulationError):
+        fluid.transfer([link], -1.0)
+
+
+def test_nonpositive_rate_cap_rejected():
+    engine, fluid = make()
+    link = Capacity("link", 10.0)
+    with pytest.raises(SimulationError):
+        fluid.transfer([link], 10.0, rate_cap=0.0)
+
+
+def test_capacity_requires_positive_rate():
+    with pytest.raises(SimulationError):
+        Capacity("bad", 0.0)
+    with pytest.raises(SimulationError):
+        Capacity("bad", math.inf)
+
+
+def test_transfer_event_value_is_duration():
+    engine, fluid = make()
+    link = Capacity("link", 10.0)
+    done = fluid.transfer([link], 500.0)
+    assert engine.run(done) == pytest.approx(50.0)
+
+
+def test_utilization_tracks_active_flows():
+    engine, fluid = make()
+    link = Capacity("link", 10.0)
+    fluid.transfer([link], 1000.0, rate_cap=4.0)
+    assert link.utilization == pytest.approx(0.4)
+    fluid.transfer([link], 1000.0, rate_cap=4.0)
+    assert link.utilization == pytest.approx(0.8)
+    engine.run()
+    assert link.utilization == 0.0  # idle again after completion
+
+
+def test_bytes_counter_accumulates():
+    engine, fluid = make()
+    link = Capacity("link", 10.0)
+    engine.run(fluid.transfer([link], 123.0))
+    engine.run(fluid.transfer([link], 877.0))
+    assert link.stats.counter("bytes").value == pytest.approx(1000.0)
+
+
+def test_mid_transfer_join_is_exact():
+    """A flow joining halfway perturbs the first flow's finish time in
+    the exact fluid way."""
+    engine, fluid = make()
+    link = Capacity("link", 10.0)
+    first = fluid.transfer([link], 1000.0)
+
+    def joiner():
+        yield engine.timeout(50.0)  # first has 500 left
+        second = fluid.transfer([link], 500.0)
+        yield second
+
+    join_proc = engine.process(joiner())
+    engine.run(first)
+    # after t=50 both run at 5: each has 500 left -> both end at t=150
+    assert engine.now == pytest.approx(150.0)
+    engine.run(join_proc)
+    assert engine.now == pytest.approx(150.0)
+
+
+def test_many_flows_conserve_capacity():
+    engine, fluid = make()
+    link = Capacity("link", 34.5)
+    flows = [fluid.transfer([link], 34.5e6) for _ in range(14)]
+    engine.run(engine.all_of(flows))
+    # 14 x 34.5e6 bytes through 34.5 B/ns = 14e6 ns
+    assert engine.now == pytest.approx(14e6, rel=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(st.floats(1.0, 1e6), min_size=1, max_size=6),
+    rate=st.floats(0.5, 100.0),
+)
+def test_aggregate_throughput_equals_capacity(sizes, rate):
+    """However flows share one link, total bytes / makespan == capacity
+    while the link is saturated; the makespan is bounded by the fluid
+    optimum and by serial execution."""
+    engine = Engine()
+    fluid = FluidModel(engine)
+    link = Capacity("link", rate)
+    flows = [fluid.transfer([link], size) for size in sizes]
+    engine.run(engine.all_of(flows))
+    optimum = sum(sizes) / rate
+    assert engine.now == pytest.approx(optimum, rel=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    size=st.floats(64.0, 1e7),
+    cap=st.floats(0.1, 5.0),
+    rate=st.floats(5.0, 200.0),
+)
+def test_single_capped_flow_matches_closed_form(size, cap, rate):
+    engine = Engine()
+    fluid = FluidModel(engine)
+    link = Capacity("link", rate)
+    engine.run(fluid.transfer([link], size, rate_cap=cap))
+    assert engine.now == pytest.approx(size / min(cap, rate), rel=1e-6)

@@ -1,0 +1,170 @@
+"""Tests for RNG streams, statistics collectors, and tracing."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import RngStreams
+from repro.sim.stats import Counter, Histogram, StatSet, TimeWeighted
+from repro.sim.trace import TraceRecord, Tracer
+
+
+# --- rng ----------------------------------------------------------------------
+
+
+def test_same_seed_same_stream():
+    a = RngStreams(7).stream("x")
+    b = RngStreams(7).stream("x")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_are_independent():
+    streams = RngStreams(7)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_stream_is_cached():
+    streams = RngStreams(0)
+    assert streams.stream("x") is streams["x"]
+
+
+def test_fork_changes_streams_deterministically():
+    fork1 = RngStreams(7).fork("rep1")
+    fork2 = RngStreams(7).fork("rep1")
+    other = RngStreams(7).fork("rep2")
+    assert fork1.stream("x").random() == fork2.stream("x").random()
+    assert RngStreams(7).fork("rep1").stream("x").random() != other.stream("x").random()
+
+
+# --- counters / gauges -----------------------------------------------------------
+
+
+def test_counter_accumulates():
+    counter = Counter()
+    counter.add(3)
+    counter.add()
+    assert counter.value == 4.0
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter().add(-1)
+
+
+def test_time_weighted_mean():
+    gauge = TimeWeighted(initial=0.0, start_time=0.0)
+    gauge.update(10.0, now=5.0)  # 0 for 5ns
+    gauge.update(0.0, now=15.0)  # 10 for 10ns
+    assert gauge.mean(now=20.0) == pytest.approx((0 * 5 + 10 * 10 + 0 * 5) / 20)
+    assert gauge.maximum() == 10.0
+    assert gauge.current == 0.0
+
+
+def test_time_weighted_rejects_time_travel():
+    gauge = TimeWeighted()
+    gauge.update(1.0, now=10.0)
+    with pytest.raises(ValueError):
+        gauge.update(2.0, now=5.0)
+
+
+# --- histogram ---------------------------------------------------------------
+
+
+def test_histogram_basic_stats():
+    hist = Histogram()
+    for v in (1.0, 2.0, 3.0, 4.0):
+        hist.record(v)
+    assert hist.mean() == 2.5
+    assert hist.minimum() == 1.0
+    assert hist.maximum() == 4.0
+    assert hist.quantile(0.5) == pytest.approx(2.5)
+    assert hist.count_at_most(2.0) == 2
+
+
+def test_histogram_empty_is_nan():
+    hist = Histogram()
+    assert math.isnan(hist.mean())
+    assert math.isnan(hist.quantile(0.5))
+
+
+def test_histogram_quantile_bounds():
+    hist = Histogram()
+    hist.record(1.0)
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+def test_histogram_quantiles_monotone(values):
+    hist = Histogram()
+    for v in values:
+        hist.record(v)
+    quantiles = [hist.quantile(q / 10) for q in range(11)]
+    assert quantiles == sorted(quantiles)
+    assert quantiles[0] == min(values)
+    assert quantiles[-1] == max(values)
+
+
+# --- stat set ----------------------------------------------------------------
+
+
+def test_statset_flattens_collectors():
+    stats = StatSet("dev")
+    stats.counter("bytes").add(100)
+    stats.gauge("depth").update(3.0, now=10.0)
+    stats.histogram("lat").record(5.0)
+    flat = stats.as_dict(now=20.0)
+    assert flat["bytes"] == 100
+    assert flat["depth.max"] == 3.0
+    assert flat["lat.count"] == 1.0
+
+
+def test_statset_reuses_collectors():
+    stats = StatSet()
+    assert stats.counter("x") is stats.counter("x")
+
+
+# --- tracer ------------------------------------------------------------------
+
+
+def test_tracer_filters_by_kind():
+    tracer = Tracer()
+    tracer.enable("migrate")
+    tracer.emit(1.0, "pool", "migrate", extent=4)
+    tracer.emit(2.0, "pool", "allocate", size=10)
+    assert len(tracer.records) == 1
+    assert tracer.of_kind("migrate")[0].payload == {"extent": 4}
+
+
+def test_tracer_wildcard():
+    tracer = Tracer()
+    tracer.enable("*")
+    tracer.emit(1.0, "a", "x")
+    tracer.emit(2.0, "b", "y")
+    assert len(tracer.records) == 2
+
+
+def test_tracer_disable():
+    tracer = Tracer(enabled=["x"])
+    tracer.disable("x")
+    tracer.emit(1.0, "a", "x")
+    assert not tracer.records
+
+
+def test_trace_record_format():
+    record = TraceRecord(12.5, "pool", "migrate", {"extent": 3, "dst": 1})
+    line = record.format()
+    assert "pool" in line and "migrate" in line and "extent=3" in line
+
+
+def test_tracer_dump_and_clear():
+    tracer = Tracer(enabled=["k"])
+    tracer.emit(1.0, "c", "k", a=1)
+    assert "a=1" in tracer.dump()
+    tracer.clear()
+    assert tracer.dump() == ""

@@ -1,0 +1,54 @@
+"""Tests for the unit constructors and formatters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+def test_size_constructors():
+    assert units.gib(1) == 1 << 30
+    assert units.mib(2) == 2 << 20
+    assert units.kib(4) == 4096
+    assert units.gb(96) == 96_000_000_000
+    assert units.gib(1.5) == int(1.5 * (1 << 30))
+
+
+def test_time_constructors():
+    assert units.ns(82) == 82.0
+    assert units.us(1) == 1_000.0
+    assert units.ms(1) == 1_000_000.0
+    assert units.seconds(2) == 2_000_000_000.0
+
+
+def test_bandwidth_is_identity_in_gbps():
+    """bytes/ns == GB/s by construction — the paper's tables read
+    straight into model parameters."""
+    assert units.gbps(97.0) == 97.0
+    assert units.mbps(500) == 0.5
+    assert units.bandwidth_to_gbps(34.5) == 34.5
+
+
+def test_fmt_size_picks_natural_unit():
+    assert units.fmt_size(96e9) == "96.0GB"
+    assert units.fmt_size(1.5e6) == "1.5MB"
+    assert units.fmt_size(2048) == "2.0KB"
+    assert units.fmt_size(12) == "12B"
+    assert units.fmt_size(2e12) == "2.0TB"
+
+
+def test_fmt_time_picks_natural_unit():
+    assert units.fmt_time(82.0) == "82.0ns"
+    assert units.fmt_time(1500.0) == "1.500us"
+    assert units.fmt_time(2.5e6) == "2.500ms"
+    assert units.fmt_time(3e9) == "3.000s"
+
+
+def test_fmt_bandwidth():
+    assert units.fmt_bandwidth(34.5) == "34.5GB/s"
+
+
+def test_round_trip_consistency():
+    # a capacity expressed in GiB and formatted decimal stays coherent
+    assert units.fmt_size(units.gib(24)) == "25.8GB"

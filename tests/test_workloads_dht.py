@@ -1,0 +1,112 @@
+"""Tests for the sharded hash table and its GET-strategy tradeoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapacityError, ConfigError
+from repro.workloads.dht import ShardedHashTable, compare_get_strategies
+from repro.units import mib
+
+
+@pytest.fixture
+def table(logical_pool) -> ShardedHashTable:
+    return ShardedHashTable(logical_pool, shard_capacity=mib(16))
+
+
+def test_put_get_round_trip(table, logical_deployment):
+    engine = logical_deployment.engine
+    engine.run(table.put(0, b"user:7", b"alice-record"))
+    value, timing = engine.run(table.get_onesided(1, b"user:7"))
+    assert value == b"alice-record"
+    assert timing.strategy == "one-sided"
+    value, timing = engine.run(table.get_shipped(2, b"user:7"))
+    assert value == b"alice-record"
+    assert timing.owner_cpu_involved
+
+
+def test_missing_key_returns_none(table, logical_deployment):
+    engine = logical_deployment.engine
+    value, _t = engine.run(table.get_onesided(0, b"ghost"))
+    assert value is None
+    value, _t = engine.run(table.get_shipped(0, b"ghost"))
+    assert value is None
+
+
+def test_keys_spread_over_shards(table, logical_deployment):
+    engine = logical_deployment.engine
+    keys = [f"key{i}".encode() for i in range(64)]
+    for key in keys:
+        engine.run(table.put(0, key, b"v"))
+    shards_hit = {table.shard_of(key) for key in keys}
+    assert len(shards_hit) == 4  # all shards in play
+    # deterministic routing
+    assert table.shard_of(b"key0") == table.shard_of(b"key0")
+
+
+def test_shards_are_home_local(table, logical_pool):
+    """Each shard's log is local to its home — so the home's walks are
+    local-DRAM work (the LMP property the workload exploits)."""
+    for shard, log in enumerate(table._logs):
+        home = table.server_ids[shard]
+        assert logical_pool.locality_fraction(home, log) == 1.0
+
+
+def test_onesided_pays_two_round_trips(table, logical_deployment):
+    engine = logical_deployment.engine
+    engine.run(table.put(0, b"k", b"x" * 128))
+    home = table.home_of(b"k")
+    requester = (home + 1) % 4  # guaranteed remote
+    _value, one_sided = engine.run(table.get_onesided(requester, b"k"))
+    _value, shipped = engine.run(table.get_shipped(requester, b"k"))
+    assert one_sided.fabric_round_trips == 2
+    assert shipped.fabric_round_trips == 1
+    # small values: shipping halves the dependent fabric trips
+    assert shipped.total_ns < one_sided.total_ns
+
+
+def test_local_requester_is_fast_either_way(table, logical_deployment):
+    engine = logical_deployment.engine
+    engine.run(table.put(0, b"near", b"y" * 64))
+    home = table.home_of(b"near")
+    _value, local_timing = engine.run(table.get_shipped(home, b"near"))
+    remote = (home + 1) % 4
+    _value, remote_timing = engine.run(table.get_shipped(remote, b"near"))
+    assert local_timing.total_ns < remote_timing.total_ns
+    assert local_timing.fabric_round_trips == 0
+
+
+def test_compare_strategies_report(table, logical_deployment):
+    engine = logical_deployment.engine
+    keys = [f"k{i}".encode() for i in range(12)]
+    for key in keys:
+        engine.run(table.put(0, key, b"v" * 256))
+    means = compare_get_strategies(table, server_id=0, keys=keys)
+    assert set(means) == {"one-sided", "shipped"}
+    assert means["shipped"] < means["one-sided"]
+
+
+def test_shard_capacity_enforced(logical_pool, logical_deployment):
+    table = ShardedHashTable(logical_pool, shard_capacity=mib(2))
+    engine = logical_deployment.engine
+    # find keys landing on one shard and overfill it
+    victim_shard = table.shard_of(b"a0")
+    same_shard = [
+        f"a{i}".encode() for i in range(4096) if table.shard_of(f"a{i}".encode()) == victim_shard
+    ][:3]
+    engine.run(table.put(0, same_shard[0], bytes(mib(1))))
+    engine.run(table.put(0, same_shard[1], bytes(mib(1) - 64)))
+    with pytest.raises(CapacityError):
+        engine.run(table.put(0, same_shard[2], bytes(1024)))
+
+
+def test_empty_key_rejected(table):
+    with pytest.raises(ConfigError):
+        table.put(0, b"", b"v")
+
+
+def test_release_frees_logs(logical_pool):
+    before = logical_pool.pooled_free_bytes
+    table = ShardedHashTable(logical_pool, shard_capacity=mib(16))
+    table.release()
+    assert logical_pool.pooled_free_bytes == before
