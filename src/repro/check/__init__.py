@@ -1,0 +1,40 @@
+"""``repro.check`` — determinism linter, runtime sanitizers, CI gate.
+
+Three layers substitute for the silicon validation real CXL simulators
+lean on:
+
+* the ``LMP`` AST linter (:mod:`repro.check.lint`, rules in
+  :mod:`repro.check.rules`) flags simulation-correctness hazards
+  statically,
+* the runtime sanitizers (:mod:`repro.check.sanitizers`) enforce
+  allocator and coherence invariants while scenarios run,
+* the determinism harness (:mod:`repro.check.determinism`) reruns
+  scenarios and diffs their event streams byte for byte.
+
+Entry point: ``python -m repro check [--fix] [--determinism ...] [path...]``.
+"""
+
+from repro.check.determinism import SCENARIOS, DeterminismHarness, DeterminismReport
+from repro.check.lint import FileReport, apply_fixes, fix_file, lint_file, lint_paths, lint_source
+from repro.check.rules import ALL_RULES, LintContext, Rule, Violation
+from repro.check.runner import run_check
+from repro.check.sanitizers import AllocSanitizer, CoherenceSanitizer
+
+__all__ = [
+    "ALL_RULES",
+    "AllocSanitizer",
+    "CoherenceSanitizer",
+    "DeterminismHarness",
+    "DeterminismReport",
+    "FileReport",
+    "LintContext",
+    "Rule",
+    "SCENARIOS",
+    "Violation",
+    "apply_fixes",
+    "fix_file",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "run_check",
+]

@@ -1,0 +1,155 @@
+"""Seed-determinism harness: run a scenario twice, diff its event streams.
+
+The evaluation's ratios are only trustworthy if reruns reproduce
+bit-identical traces (DESIGN.md).  The harness registers a global event
+sink on :class:`~repro.sim.engine.Engine` — so it sees every engine a
+scenario builds internally — renders each dispatched event through
+:class:`~repro.sim.trace.Tracer` formatting, and compares the two
+streams byte for byte, reporting the first divergent event.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import typing as _t
+
+from repro.errors import DeterminismError
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+
+TRACE_KIND = "engine.step"
+
+
+def _scenario_figure2() -> _t.Any:
+    from repro.experiments.figures import run_figure
+
+    return run_figure("figure2", links=("link0",), repetitions=2)
+
+
+def _scenario_incast() -> _t.Any:
+    from repro.experiments import incast
+
+    return incast.run()
+
+
+def _scenario_migration() -> _t.Any:
+    from repro.experiments import migration
+
+    return migration.run()
+
+
+#: scenario name -> zero-argument callable; reduced sizes keep reruns cheap
+SCENARIOS: dict[str, _t.Callable[[], _t.Any]] = {
+    "figure2": _scenario_figure2,
+    "incast": _scenario_incast,
+    "migration": _scenario_migration,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class DeterminismReport:
+    """Outcome of one twice-run scenario comparison."""
+
+    scenario: str
+    events_first: int
+    events_second: int
+    first_divergence: int | None  # index of the first differing event
+    line_first: str | None
+    line_second: str | None
+
+    @property
+    def identical(self) -> bool:
+        return (
+            self.first_divergence is None and self.events_first == self.events_second
+        )
+
+    def render(self) -> str:
+        if self.identical:
+            return (
+                f"{self.scenario}: deterministic "
+                f"({self.events_first} events, byte-identical)"
+            )
+        lines = [
+            f"{self.scenario}: NONDETERMINISTIC "
+            f"({self.events_first} vs {self.events_second} events)"
+        ]
+        if self.first_divergence is not None:
+            lines.append(f"  first divergence at event #{self.first_divergence}:")
+            lines.append(f"    run 1: {self.line_first or '<stream ended>'}")
+            lines.append(f"    run 2: {self.line_second or '<stream ended>'}")
+        return "\n".join(lines)
+
+    def raise_on_divergence(self) -> None:
+        if not self.identical:
+            raise DeterminismError(self.render())
+
+
+class DeterminismHarness:
+    """Runs scenarios twice and diffs the ``sim.trace`` event streams."""
+
+    def __init__(
+        self, scenarios: _t.Mapping[str, _t.Callable[[], _t.Any]] | None = None
+    ) -> None:
+        self.scenarios = dict(SCENARIOS if scenarios is None else scenarios)
+
+    @contextlib.contextmanager
+    def _capture(self) -> _t.Iterator[Tracer]:
+        """Route every engine's event dispatch into a fresh tracer."""
+        tracer = Tracer(enabled=(TRACE_KIND,))
+
+        def sink(_engine: Engine, when: float, seq: int, event: _t.Any) -> None:
+            tracer.emit(
+                when,
+                "engine",
+                TRACE_KIND,
+                seq=seq,
+                event=type(event).__name__,
+                name=getattr(event, "name", ""),
+            )
+
+        Engine.add_global_event_sink(sink)
+        try:
+            yield tracer
+        finally:
+            Engine.remove_global_event_sink(sink)
+
+    def capture(self, scenario: _t.Callable[[], _t.Any]) -> list[str]:
+        """One run's event stream, one formatted line per dispatch."""
+        with self._capture() as tracer:
+            scenario()
+        return [record.format() for record in tracer.records]
+
+    def run(self, name: str) -> DeterminismReport:
+        """Run scenario *name* twice; compare the streams."""
+        try:
+            scenario = self.scenarios[name]
+        except KeyError:
+            raise DeterminismError(
+                f"unknown determinism scenario {name!r}; "
+                f"known: {', '.join(sorted(self.scenarios))}"
+            ) from None
+        first = self.capture(scenario)
+        second = self.capture(scenario)
+        divergence: int | None = None
+        line_first: str | None = None
+        line_second: str | None = None
+        for i, (a, b) in enumerate(zip(first, second)):
+            if a != b:
+                divergence, line_first, line_second = i, a, b
+                break
+        if divergence is None and len(first) != len(second):
+            divergence = min(len(first), len(second))
+            line_first = first[divergence] if divergence < len(first) else None
+            line_second = second[divergence] if divergence < len(second) else None
+        return DeterminismReport(
+            scenario=name,
+            events_first=len(first),
+            events_second=len(second),
+            first_divergence=divergence,
+            line_first=line_first,
+            line_second=line_second,
+        )
+
+    def run_all(self) -> list[DeterminismReport]:
+        return [self.run(name) for name in sorted(self.scenarios)]

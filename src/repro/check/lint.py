@@ -1,0 +1,112 @@
+"""Driver for the ``LMP`` determinism linter.
+
+Walks python files, runs every applicable rule from
+:mod:`repro.check.rules`, and optionally applies autofixes (today:
+wrapping set iteration in ``sorted(...)`` for LMP003).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+import typing as _t
+
+from repro.check.rules import ALL_RULES, LintContext, Rule, Violation
+
+
+@dataclasses.dataclass(frozen=True)
+class FileReport:
+    """Lint result for one file."""
+
+    path: pathlib.Path
+    violations: tuple[Violation, ...]
+    parse_error: str | None = None
+
+
+def iter_python_files(paths: _t.Sequence[pathlib.Path]) -> _t.Iterator[pathlib.Path]:
+    """Expand files and directories into a sorted stream of .py files."""
+    seen: set[pathlib.Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_source(
+    source: str,
+    path: pathlib.Path,
+    rules: _t.Sequence[Rule] = ALL_RULES,
+) -> FileReport:
+    """Lint one module's source text."""
+    ctx = LintContext.for_path(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return FileReport(path=path, violations=(), parse_error=str(exc))
+    violations: list[Violation] = []
+    for rule in rules:
+        if rule.applies(ctx):
+            violations.extend(rule.check(tree, ctx))
+    violations.sort(key=lambda v: (v.line, v.col, v.rule_id))
+    return FileReport(path=path, violations=tuple(violations))
+
+
+def lint_file(path: pathlib.Path, rules: _t.Sequence[Rule] = ALL_RULES) -> FileReport:
+    return lint_source(path.read_text(), path, rules)
+
+
+def lint_paths(
+    paths: _t.Sequence[pathlib.Path], rules: _t.Sequence[Rule] = ALL_RULES
+) -> list[FileReport]:
+    """Lint every python file under *paths*; reports with findings only."""
+    reports = []
+    for path in iter_python_files(paths):
+        report = lint_file(path, rules)
+        if report.violations or report.parse_error:
+            reports.append(report)
+    return reports
+
+
+def apply_fixes(source: str, violations: _t.Sequence[Violation]) -> tuple[str, int]:
+    """Rewrite *source* applying every autofixable violation's fix.
+
+    Today's only fix wraps the offending expression in ``sorted(...)``.
+    Returns (new_source, fixes_applied).  Fixes are applied bottom-up so
+    earlier spans stay valid.
+    """
+    lines = source.splitlines(keepends=True)
+    fixable = [v for v in violations if v.autofixable and v.fix_span is not None]
+    fixable.sort(key=lambda v: v.fix_span, reverse=True)  # type: ignore[arg-type, return-value]
+    applied = 0
+    for violation in fixable:
+        assert violation.fix_span is not None
+        line_a, col_a, line_b, col_b = violation.fix_span
+        if line_a < 1 or line_b > len(lines):
+            continue
+        lines[line_b - 1] = (
+            lines[line_b - 1][:col_b] + ")" + lines[line_b - 1][col_b:]
+        )
+        lines[line_a - 1] = (
+            lines[line_a - 1][:col_a] + "sorted(" + lines[line_a - 1][col_a:]
+        )
+        applied += 1
+    return "".join(lines), applied
+
+
+def fix_file(path: pathlib.Path, rules: _t.Sequence[Rule] = ALL_RULES) -> int:
+    """Lint *path* and write back autofixes; returns fixes applied."""
+    source = path.read_text()
+    report = lint_source(source, path, rules)
+    fixed, applied = apply_fixes(source, report.violations)
+    if applied:
+        # refuse to write back source the fixer broke
+        ast.parse(fixed, filename=str(path))
+        path.write_text(fixed)
+    return applied

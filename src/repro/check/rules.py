@@ -1,0 +1,452 @@
+"""The ``LMP`` lint rules: simulation-correctness hazards as AST checks.
+
+The whole evaluation rests on the DES being deterministic — ratios are
+only trustworthy if reruns reproduce bit-identical traces.  Full-system
+CXL simulators validate themselves against silicon; we have no
+hardware, so these rules (plus the runtime sanitizers) are the
+substitute.  Each rule is a small class with an id, a docstring that
+doubles as its rationale, and an ``autofixable`` flag consumed by
+``python -m repro check --fix``.
+
+Rules are scoped by *subsystem*: the first package component after
+``repro`` (``sim``, ``core``, ``fabric``, ``hw``, …).  A rule with
+``subsystems = None`` applies everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+import typing as _t
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One lint finding, pointing at a source location."""
+
+    rule_id: str
+    path: pathlib.Path
+    line: int
+    col: int
+    message: str
+    autofixable: bool = False
+    #: for autofixable violations: the (lineno, col, end_lineno, end_col)
+    #: span of the expression to rewrite, 1-based lines / 0-based cols
+    fix_span: tuple[int, int, int, int] | None = None
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule_id} {self.message}"
+
+
+@dataclasses.dataclass(frozen=True)
+class LintContext:
+    """Where a module sits in the tree, for subsystem-scoped rules."""
+
+    path: pathlib.Path
+    subsystem: str | None  # first package component after "repro", if any
+
+    @classmethod
+    def for_path(cls, path: pathlib.Path) -> "LintContext":
+        parts = path.parts
+        subsystem: str | None = None
+        for i, part in enumerate(parts):
+            if part == "repro" and i + 2 < len(parts):
+                # repro/<subsystem>/.../module.py
+                subsystem = parts[i + 1]
+                break
+        return cls(path=path, subsystem=subsystem)
+
+
+class Rule:
+    """Base class: subclasses define ``id``, ``title`` and ``check``."""
+
+    id: _t.ClassVar[str] = "LMP000"
+    title: _t.ClassVar[str] = ""
+    autofixable: _t.ClassVar[bool] = False
+    #: subsystems the rule applies to, or None for all modules
+    subsystems: _t.ClassVar[frozenset[str] | None] = None
+
+    def applies(self, ctx: LintContext) -> bool:
+        return self.subsystems is None or ctx.subsystem in self.subsystems
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> list[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self,
+        ctx: LintContext,
+        node: ast.AST,
+        message: str,
+        fix_span: tuple[int, int, int, int] | None = None,
+    ) -> Violation:
+        return Violation(
+            rule_id=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            autofixable=self.autofixable and fix_span is not None,
+            fix_span=fix_span,
+        )
+
+
+#: subsystems whose code runs inside the simulation and must not touch
+#: the host machine's clock or global RNG
+SIM_SUBSYSTEMS = frozenset({"sim", "core", "fabric", "hw", "mem"})
+
+_WALL_CLOCK_FUNCS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+)
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Render an attribute chain like ``datetime.datetime.now`` or None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class WallClockRule(Rule):
+    """LMP001 — wall-clock reads inside simulated components.
+
+    ``time.time()`` / ``datetime.now()`` inside ``sim``/``core``/
+    ``fabric``/``hw``/``mem`` leaks host time into the model: results
+    change run to run and the trace diff harness can never pass.
+    Simulated components must read ``engine.now`` only.
+    """
+
+    id = "LMP001"
+    title = "wall-clock call in simulated component"
+    subsystems = SIM_SUBSYSTEMS
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> list[Violation]:
+        out: list[Violation] = []
+        from_time: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    from_time.update(
+                        alias.asname or alias.name
+                        for alias in node.names
+                        if alias.name in _WALL_CLOCK_FUNCS
+                    )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in from_time:
+                out.append(self.violation(ctx, node, f"wall-clock call {func.id}()"))
+                continue
+            dotted = _dotted(func)
+            if dotted is None:
+                continue
+            head, _, tail = dotted.rpartition(".")
+            if head.split(".")[-1] == "time" and tail in _WALL_CLOCK_FUNCS:
+                out.append(self.violation(ctx, node, f"wall-clock call {dotted}()"))
+            elif "datetime" in head.split(".") and tail in _DATETIME_FUNCS:
+                out.append(self.violation(ctx, node, f"wall-clock call {dotted}()"))
+        return out
+
+
+_RANDOM_OK = frozenset({"Random", "SystemRandom"})
+
+
+class GlobalRandomRule(Rule):
+    """LMP002 — module-level ``random`` calls instead of ``sim.rng``.
+
+    ``random.randint(...)`` draws from the interpreter-global generator:
+    any other component (or pytest plugin) touching it perturbs every
+    sequence after it.  Draw from the engine's named streams
+    (``engine.rng.stream("...")``) or take an explicit
+    ``random.Random`` argument.  Constructing ``random.Random(seed)``
+    is fine — that *is* an isolated stream.
+    """
+
+    id = "LMP002"
+    title = "global random module call"
+    subsystems = None  # everywhere: experiments must be reproducible too
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr not in _RANDOM_OK
+            ):
+                out.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"random.{func.attr}() uses the process-global generator; "
+                        "draw from an injected random.Random / sim.rng stream",
+                    )
+                )
+        return out
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "set"
+    return False
+
+
+def _collect_set_names(scope: ast.AST) -> set[str]:
+    """Names assigned a set expression by simple assignment in *scope*.
+
+    A name loses set-ness if any assignment binds it to something else
+    (conservative: we only track names that are *always* sets here).
+    """
+    is_set: dict[str, bool] = {}
+    for node in ast.walk(scope):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                setness = _is_set_expr(value)
+                is_set[target.id] = is_set.get(target.id, setness) and setness
+    return {name for name, flag in is_set.items() if flag}
+
+
+class SetIterationRule(Rule):
+    """LMP003 — ``for`` over a bare set in dispatch or coherence paths.
+
+    Set iteration order depends on element hashes, and for strings that
+    order changes per process (``PYTHONHASHSEED``).  When the loop body
+    touches simulation state — sends invalidations, pops events — runs
+    stop being reproducible.  Iterate ``sorted(the_set)`` (or keep an
+    insertion-ordered ``dict``/``list``) instead.  Autofix wraps the
+    iterable in ``sorted(...)``.
+    """
+
+    id = "LMP003"
+    title = "iteration over unordered set"
+    autofixable = True
+    subsystems = frozenset({"sim", "core", "fabric"})
+
+    def _span(self, node: ast.expr) -> tuple[int, int, int, int] | None:
+        if node.end_lineno is None or node.end_col_offset is None:
+            return None
+        return (node.lineno, node.col_offset, node.end_lineno, node.end_col_offset)
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> list[Violation]:
+        out: list[Violation] = []
+        scopes: list[ast.AST] = [tree]
+        scopes.extend(
+            n
+            for n in ast.walk(tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        seen: set[tuple[int, int]] = set()
+        for scope in scopes:
+            set_names = _collect_set_names(scope)
+            for node in ast.walk(scope):
+                if not isinstance(node, (ast.For, ast.AsyncFor)):
+                    continue
+                it = node.iter
+                key = (it.lineno, it.col_offset)
+                if key in seen:
+                    continue
+                flagged = _is_set_expr(it) or (
+                    isinstance(it, ast.Name) and it.id in set_names
+                )
+                if flagged:
+                    seen.add(key)
+                    out.append(
+                        self.violation(
+                            ctx,
+                            node,
+                            "for-loop over a set has hash-dependent order; "
+                            "iterate sorted(...) or an ordered structure",
+                            fix_span=self._span(it),
+                        )
+                    )
+        return out
+
+
+_TIME_NAMES = frozenset({"now", "_now", "deadline", "sim_time", "elapsed", "when"})
+
+
+class FloatTimeEqualityRule(Rule):
+    """LMP004 — ``==`` / ``!=`` on simulated-time floats.
+
+    Simulation time is a float accumulated by addition; two paths to
+    "the same" instant differ in the last ulp, so equality silently
+    becomes machine-specific.  Compare with ``<=`` ordering or an
+    explicit tolerance (``math.isclose``).
+    """
+
+    id = "LMP004"
+    title = "float equality on simulated time"
+    subsystems = frozenset({"sim", "core", "fabric", "hw"})
+
+    def _is_time_operand(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Attribute):
+            return node.attr in _TIME_NAMES
+        if isinstance(node, ast.Name):
+            return node.id in _TIME_NAMES
+        return False
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._is_time_operand(left) or self._is_time_operand(right):
+                    # integer literals are exact: `t == 0` is fine
+                    other = right if self._is_time_operand(left) else left
+                    if isinstance(other, ast.Constant) and isinstance(other.value, int):
+                        continue
+                    out.append(
+                        self.violation(
+                            ctx,
+                            node,
+                            "float == on simulated time; use ordering or math.isclose",
+                        )
+                    )
+        return out
+
+
+class MutableDefaultRule(Rule):
+    """LMP005 — mutable default arguments.
+
+    A ``def f(xs=[])`` default is created once and shared by every
+    call; state leaks across scenarios and across test runs, which is
+    both a correctness bug and a reproducibility hazard.  Default to
+    ``None`` and construct inside the function.
+    """
+
+    id = "LMP005"
+    title = "mutable default argument"
+    subsystems = None
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                bad = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in ("list", "dict", "set", "bytearray")
+                )
+                if bad:
+                    out.append(
+                        self.violation(
+                            ctx,
+                            default,
+                            "mutable default argument is shared across calls; "
+                            "default to None",
+                        )
+                    )
+        return out
+
+
+class SetPopRule(Rule):
+    """LMP006 — ``set.pop()`` / ``next(iter(set))`` picks an arbitrary element.
+
+    ``some_set.pop()`` removes a hash-order-dependent element; in an
+    event-dispatch or coherence path that choice changes which host gets
+    invalidated first.  Use ``min``/``max`` or sort for a deterministic
+    pick.
+    """
+
+    id = "LMP006"
+    title = "arbitrary element choice from a set"
+    subsystems = frozenset({"sim", "core", "fabric"})
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> list[Violation]:
+        out: list[Violation] = []
+        scopes: list[ast.AST] = [tree]
+        scopes.extend(
+            n
+            for n in ast.walk(tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        seen: set[tuple[int, int]] = set()
+        for scope in scopes:
+            set_names = _collect_set_names(scope)
+            for node in ast.walk(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                key = (node.lineno, node.col_offset)
+                if key in seen:
+                    continue
+                func = node.func
+                # <tracked set>.pop() with no arguments
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "pop"
+                    and not node.args
+                    and not node.keywords
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in set_names
+                ):
+                    seen.add(key)
+                    out.append(
+                        self.violation(
+                            ctx, node, "set.pop() removes an arbitrary element"
+                        )
+                    )
+                # next(iter(<set expr>))
+                elif (
+                    isinstance(func, ast.Name)
+                    and func.id == "next"
+                    and node.args
+                    and isinstance(node.args[0], ast.Call)
+                    and isinstance(node.args[0].func, ast.Name)
+                    and node.args[0].func.id == "iter"
+                    and node.args[0].args
+                    and (
+                        _is_set_expr(node.args[0].args[0])
+                        or (
+                            isinstance(node.args[0].args[0], ast.Name)
+                            and node.args[0].args[0].id in set_names
+                        )
+                    )
+                ):
+                    seen.add(key)
+                    out.append(
+                        self.violation(
+                            ctx, node, "next(iter(set)) picks an arbitrary element"
+                        )
+                    )
+        return out
+
+
+#: every rule, in id order — the linter's registry
+ALL_RULES: tuple[Rule, ...] = (
+    WallClockRule(),
+    GlobalRandomRule(),
+    SetIterationRule(),
+    FloatTimeEqualityRule(),
+    MutableDefaultRule(),
+    SetPopRule(),
+)

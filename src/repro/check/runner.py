@@ -1,0 +1,79 @@
+"""Orchestrates ``python -m repro check [--fix] [--determinism ...] [path...]``.
+
+Exit codes: 0 clean, 1 findings (lint violations or divergent
+scenarios), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import typing as _t
+
+from repro.check.determinism import SCENARIOS, DeterminismHarness
+from repro.check.lint import fix_file, iter_python_files, lint_paths
+from repro.check.rules import ALL_RULES
+from repro.errors import DeterminismError
+
+
+def default_paths() -> list[pathlib.Path]:
+    """The package's own source tree, found relative to this file."""
+    return [pathlib.Path(__file__).resolve().parent.parent]
+
+
+def run_check(
+    paths: _t.Sequence[pathlib.Path] | None = None,
+    fix: bool = False,
+    determinism: _t.Sequence[str] | None = None,
+    stream: _t.TextIO = sys.stdout,
+) -> int:
+    """Lint *paths* (default: the installed ``repro`` package) and
+    optionally verify seed determinism for the named scenarios."""
+    targets = list(paths) if paths else default_paths()
+    for target in targets:
+        if not target.exists():
+            print(f"repro check: no such path: {target}", file=sys.stderr)
+            return 2
+
+    exit_code = 0
+    if fix:
+        fixed_total = 0
+        for path in iter_python_files(targets):
+            fixed_total += fix_file(path)
+        print(f"applied {fixed_total} autofix(es)", file=stream)
+
+    reports = lint_paths(targets, ALL_RULES)
+    violation_count = 0
+    for report in reports:
+        if report.parse_error:
+            print(f"{report.path}: parse error: {report.parse_error}", file=stream)
+            exit_code = 1
+        for violation in report.violations:
+            print(violation.format(), file=stream)
+            violation_count += 1
+    file_count = len(list(iter_python_files(targets)))
+    if violation_count:
+        exit_code = 1
+        print(
+            f"repro check: {violation_count} violation(s) in "
+            f"{len(reports)} of {file_count} file(s)",
+            file=stream,
+        )
+    else:
+        print(f"repro check: {file_count} file(s) clean", file=stream)
+
+    if determinism is not None:
+        names = list(determinism) or sorted(SCENARIOS)
+        if "all" in names:
+            names = sorted(SCENARIOS)
+        harness = DeterminismHarness()
+        for name in names:
+            try:
+                report_d = harness.run(name)
+            except DeterminismError as exc:
+                print(str(exc), file=stream)
+                return 2
+            print(report_d.render(), file=stream)
+            if not report_d.identical:
+                exit_code = 1
+    return exit_code

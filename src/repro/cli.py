@@ -116,6 +116,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to write rendered <id>.txt files into",
     )
+    check_cmd = commands.add_parser(
+        "check",
+        help="run the LMP determinism linter (and optionally seed-determinism scenarios)",
+    )
+    check_cmd.add_argument(
+        "paths",
+        nargs="*",
+        type=pathlib.Path,
+        help="files or directories to lint (default: the repro package source)",
+    )
+    check_cmd.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply autofixes (wrap nondeterministic set iteration in sorted())",
+    )
+    check_cmd.add_argument(
+        "--determinism",
+        nargs="*",
+        metavar="SCENARIO",
+        default=None,
+        help="also rerun scenarios twice and diff their event streams "
+        "('all' or names; no names = all)",
+    )
     return parser
 
 
@@ -124,6 +147,10 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     if args.command == "list":
         list_experiments()
         return 0
+    if args.command == "check":
+        from repro.check.runner import run_check
+
+        return run_check(args.paths, fix=args.fix, determinism=args.determinism)
     return run_experiments(args.names, out_dir=args.out)
 
 

@@ -33,6 +33,7 @@ from repro.errors import CoherenceError, ConfigError
 from repro.sim.resources import FifoQueue, Mutex
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.check.sanitizers import CoherenceSanitizer
     from repro.sim.process import Process
     from repro.topology.builder import Deployment
 
@@ -64,6 +65,10 @@ class CoherenceDirectory:
     """The coherent region: directory + snoop filters + values + caches."""
 
     LINE_BYTES = 64
+
+    #: installed by repro.check.CoherenceSanitizer to re-verify MESI
+    #: invariants after every transition (None = checks disabled)
+    _sanitizer: _t.ClassVar["CoherenceSanitizer | None"] = None
 
     def __init__(
         self,
@@ -123,6 +128,12 @@ class CoherenceDirectory:
             self._line_locks[line] = lock
         return lock
 
+    def _after_transition(self, line: int) -> None:
+        """Sanitizer hook: verify *line*'s invariants post-transition."""
+        sanitizer = type(self)._sanitizer
+        if sanitizer is not None:
+            sanitizer.verify_line(self, line)
+
     def _latency(self, requester: int, target: int) -> float:
         """Loaded latency requester -> target (local curve when equal)."""
         req = self.deployment.server(requester)
@@ -174,6 +185,7 @@ class CoherenceDirectory:
         if line in self._caches[host] and entry.owner in (None, host):
             self.stats.cache_hits += 1
             yield self.engine.timeout(1.0)  # L1 hit
+            self._after_transition(line)
             return self._values.get(line, 0)
 
         home = self.home_of(line)
@@ -199,6 +211,7 @@ class CoherenceDirectory:
             entry.sharers.add(host)
             self._caches[host].add(line)
             yield from self._track(home, line, host)
+            self._after_transition(line)
             return self._values.get(line, 0)
         finally:
             self._line_lock(line).release()
@@ -217,6 +230,7 @@ class CoherenceDirectory:
             self.stats.cache_hits += 1
             yield self.engine.timeout(1.0)
             self._values[line] = value
+            self._after_transition(line)
             return value
 
         home = self.home_of(line)
@@ -233,6 +247,7 @@ class CoherenceDirectory:
             self._caches[host].add(line)
             yield from self._track(home, line, host)
             self._values[line] = value
+            self._after_transition(line)
             return value
         finally:
             self._line_lock(line).release()
@@ -265,6 +280,7 @@ class CoherenceDirectory:
             old = self._values.get(line, 0)
             new = fn(old)
             self._values[line] = new
+            self._after_transition(line)
             return old, new
         finally:
             self._line_lock(line).release()
@@ -283,7 +299,7 @@ class CoherenceDirectory:
             return
         worst = max(self._latency(home, v) for v in victims)
         yield self.engine.timeout(worst)
-        for victim in victims:
+        for victim in sorted(victims):
             self._caches[victim].discard(line)
             entry.sharers.discard(victim)
             self.snoop_filters[home].untrack(line, victim)
@@ -303,7 +319,7 @@ class CoherenceDirectory:
             worst = max(self._latency(home, v) for v in victim_sharers)
             yield self.engine.timeout(worst)
             victim_entry = self._entries.get(victim_line)
-            for sharer in victim_sharers:
+            for sharer in sorted(victim_sharers):
                 self._caches[sharer].discard(victim_line)
                 self.stats.invalidation_messages += 1
                 if victim_entry is not None:

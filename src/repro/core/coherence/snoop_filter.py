@@ -80,6 +80,14 @@ class SnoopFilter:
         returns the sharers that held it."""
         return self._entries.pop(line, set())
 
+    def tracked_lines(self) -> tuple[int, ...]:
+        """Every line with a filter entry, in LRU order (oldest first).
+
+        Used by :class:`repro.check.CoherenceSanitizer` to verify the
+        filter stays consistent with the directory's sharer sets.
+        """
+        return tuple(self._entries)
+
     def pressure(self) -> float:
         """Back-invalidations per insertion — the ablation's y-axis."""
         return self.back_invalidations / self.insertions if self.insertions else 0.0

@@ -73,3 +73,41 @@ class RecoveryError(ReproError):
 class InfeasibleWorkloadError(CapacityError):
     """A workload cannot run on a deployment at all (Figure 5's physical
     pool with the 96 GB vector)."""
+
+
+class SanitizerError(ReproError):
+    """Base class for every error raised by the ``repro.check`` runtime
+    sanitizers (the substitute for silicon validation: we have no
+    hardware to cross-check the models against, so the sanitizers
+    enforce the invariants a real memory system would)."""
+
+
+class DoubleFreeError(SanitizerError, AllocationError):
+    """A range was freed twice.
+
+    Also an :class:`AllocationError` so callers that guard plain
+    allocator misuse keep working when the sanitizer is installed.
+    """
+
+
+class UseAfterFreeError(SanitizerError, AddressError):
+    """An access touched a range after it was returned to the allocator."""
+
+
+class MemoryLeakError(SanitizerError):
+    """Live allocations remained at scenario teardown."""
+
+
+class OverlapError(SanitizerError):
+    """An allocator granted a range overlapping a live allocation."""
+
+
+class CoherenceInvariantError(SanitizerError, CoherenceError):
+    """A coherence transition left the directory in a state violating a
+    MESI-style invariant (two Modified owners, Shared copies coexisting
+    with Modified, or a snoop filter out of sync with the sharer sets)."""
+
+
+class DeterminismError(SanitizerError):
+    """Two runs of the same scenario with the same seed produced
+    different event streams."""

@@ -24,7 +24,6 @@ from repro.core.sizing import (
     DemandDrivenSizing,
     GlobalOptimizerSizing,
     ServerCapacity,
-    SizingPlan,
     SizingPolicy,
     StaticSizing,
 )

@@ -14,7 +14,6 @@ does the actual carving — so they unit-test without a simulator.
 from __future__ import annotations
 
 import abc
-import typing as _t
 
 from repro.errors import CapacityError, ConfigError
 

@@ -33,6 +33,11 @@ class Engine:
         assert proc.value == "done"
     """
 
+    #: sinks observing event dispatch on *every* engine, called as
+    #: fn(engine, when, seq, event).  The determinism harness registers
+    #: here so it can capture scenarios that build their own engines.
+    _global_event_sinks: _t.ClassVar[list[_t.Callable[..., None]]] = []
+
     def __init__(self, seed: int = 0) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Event]] = []
@@ -42,6 +47,8 @@ class Engine:
         self.events_processed = 0
         #: hooks called as fn(engine) before each event is processed
         self._step_hooks: list[_t.Callable[["Engine"], None]] = []
+        #: sinks called as fn(engine, when, seq, event) on this engine only
+        self._event_sinks: list[_t.Callable[..., None]] = []
 
     # -- clock --------------------------------------------------------------
 
@@ -89,6 +96,24 @@ class Engine:
         """
         self._step_hooks.append(hook)
 
+    def add_event_sink(self, sink: _t.Callable[..., None]) -> None:
+        """Register *sink* to observe every event this engine dispatches.
+
+        Called as ``sink(engine, when, seq, event)`` just before the
+        event's callbacks run.  :meth:`repro.sim.trace.Tracer.attach_engine`
+        and the ``repro.check`` determinism harness build on this.
+        """
+        self._event_sinks.append(sink)
+
+    @classmethod
+    def add_global_event_sink(cls, sink: _t.Callable[..., None]) -> None:
+        """Register *sink* on every engine, present and future."""
+        cls._global_event_sinks.append(sink)
+
+    @classmethod
+    def remove_global_event_sink(cls, sink: _t.Callable[..., None]) -> None:
+        cls._global_event_sinks.remove(sink)
+
     # -- running -----------------------------------------------------------
 
     def peek(self) -> float:
@@ -99,10 +124,15 @@ class Engine:
         """Process exactly one event."""
         if not self._heap:
             raise DeadlockError("step() called with an empty event heap")
-        when, _seq, event = heapq.heappop(self._heap)
+        when, seq, event = heapq.heappop(self._heap)
         self._now = when
         for hook in self._step_hooks:
             hook(self)
+        if self._event_sinks or Engine._global_event_sinks:
+            for sink in self._event_sinks:
+                sink(self, when, seq, event)
+            for sink in Engine._global_event_sinks:
+                sink(self, when, seq, event)
         callbacks = event.callbacks
         event.callbacks = None  # marks the event processed
         assert callbacks is not None

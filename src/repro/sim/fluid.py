@@ -45,7 +45,9 @@ class Capacity:
         #: peak rate in bytes/ns (== GB/s)
         self.rate = rate
         self.stats = StatSet(name)
-        self._flows: set["Transfer"] = set()
+        #: insertion-ordered (dict-as-set): iteration order must not
+        #: depend on object hashes or reruns stop being reproducible
+        self._flows: dict["Transfer", None] = {}
         self._used_rate = 0.0
 
     @property
@@ -104,7 +106,8 @@ class FluidModel:
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
-        self._transfers: set[Transfer] = set()
+        #: insertion-ordered (dict-as-set) for deterministic iteration
+        self._transfers: dict[Transfer, None] = {}
         self._last_advance = engine.now
         self._tick_generation = 0
         engine.add_step_hook(self._on_step)
@@ -129,9 +132,9 @@ class FluidModel:
             return done
         flow = Transfer(tuple(path), size, rate_cap, done, self.engine.now, tag=tag)
         self._advance()
-        self._transfers.add(flow)
+        self._transfers[flow] = None
         for cap in flow.path:
-            cap._flows.add(flow)
+            cap._flows[flow] = None
         self._recompute()
         return done
 
@@ -175,9 +178,9 @@ class FluidModel:
         if not finished:
             return
         for flow in finished:
-            self._transfers.discard(flow)
+            self._transfers.pop(flow, None)
             for cap in flow.path:
-                cap._flows.discard(flow)
+                cap._flows.pop(flow, None)
             if not flow.done.triggered:
                 flow.done.succeed(self.engine.now - flow.started_at)
         self._recompute()
@@ -197,21 +200,21 @@ class FluidModel:
         for flow in flows:
             flow.rate = 0.0
 
+        # `remaining` doubles as the (insertion-ordered) capacity set, so
+        # bottleneck tie-breaks are reproducible across runs.
         remaining: dict[Capacity, float] = {}
         unfrozen_at: dict[Capacity, int] = {}
-        caps: set[Capacity] = set()
         for flow in flows:
             for cap in flow.path:
-                caps.add(cap)
                 remaining[cap] = cap.rate
                 unfrozen_at[cap] = unfrozen_at.get(cap, 0) + 1
 
-        unfrozen = set(flows)
+        unfrozen = dict.fromkeys(flows)
         while unfrozen:
             # Bottleneck share among capacity nodes.
             best_share = math.inf
             best_cap: Capacity | None = None
-            for cap in caps:
+            for cap in remaining:
                 n = unfrozen_at.get(cap, 0)
                 if n <= 0:
                     continue
@@ -224,7 +227,7 @@ class FluidModel:
             if capped:
                 for flow in capped:
                     flow.rate = flow.rate_cap
-                    unfrozen.discard(flow)
+                    unfrozen.pop(flow, None)
                     for cap in flow.path:
                         remaining[cap] -= flow.rate
                         unfrozen_at[cap] -= 1
@@ -238,13 +241,13 @@ class FluidModel:
             bottlenecked = [f for f in unfrozen if best_cap in f.path]
             for flow in bottlenecked:
                 flow.rate = share
-                unfrozen.discard(flow)
+                unfrozen.pop(flow, None)
                 for cap in flow.path:
                     remaining[cap] -= flow.rate
                     unfrozen_at[cap] -= 1
 
         # Refresh per-capacity usage and utilization stats.
-        for cap in caps:
+        for cap in remaining:
             used = sum(f.rate for f in cap._flows)
             cap._used_rate = used
             cap.stats.gauge("utilization", 0.0, 0.0).update(used / cap.rate, now)

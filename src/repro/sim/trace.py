@@ -53,6 +53,27 @@ class Tracer:
         """All records of one kind, in emission order."""
         return [r for r in self.records if r.kind == kind]
 
+    def attach_engine(self, engine: _t.Any, kind: str = "engine.step") -> None:
+        """Record one ``engine.step`` line per dispatched event.
+
+        The payload (heap sequence number, event type, event name) plus
+        the timestamp pins down the full dispatch order, so two runs of
+        a deterministic model render byte-identical streams — the
+        property :class:`repro.check.DeterminismHarness` diffs.
+        """
+
+        def sink(_engine: _t.Any, when: float, seq: int, event: _t.Any) -> None:
+            self.emit(
+                when,
+                "engine",
+                kind,
+                seq=seq,
+                event=type(event).__name__,
+                name=getattr(event, "name", ""),
+            )
+
+        engine.add_event_sink(sink)
+
     def clear(self) -> None:
         self.records.clear()
 

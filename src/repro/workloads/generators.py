@@ -9,7 +9,6 @@ stream for reproducibility (see :mod:`repro.sim.rng`).
 from __future__ import annotations
 
 import bisect
-import math
 import random
 import typing as _t
 

@@ -1,13 +1,45 @@
-"""Shared fixtures: small deployments and pools on fresh engines."""
+"""Shared fixtures: small deployments and pools on fresh engines.
+
+Also the sanitizer plugin: the whole suite runs with the
+``repro.check`` allocation and coherence sanitizers installed, so any
+test that provokes a double-free, use-after-free, overlapping grant, or
+an illegal coherence state fails with a precise ``SanitizerError``
+instead of silently corrupting the model.
+"""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.check.sanitizers import AllocSanitizer, CoherenceSanitizer
 from repro.core.pool import LogicalMemoryPool, PhysicalMemoryPool
 from repro.sim.engine import Engine
 from repro.sim.fluid import FluidModel
 from repro.topology.builder import build_logical, build_physical
+
+
+@pytest.fixture(scope="session", autouse=True)
+def sanitizers():
+    """Install both runtime sanitizers for the entire test session."""
+    alloc = AllocSanitizer()
+    coherence = CoherenceSanitizer()
+    alloc.install()
+    coherence.install()
+    yield alloc, coherence
+    coherence.uninstall()
+    alloc.uninstall()
+
+
+@pytest.fixture
+def alloc_sanitizer(sanitizers) -> AllocSanitizer:
+    """The session's installed :class:`AllocSanitizer`."""
+    return sanitizers[0]
+
+
+@pytest.fixture
+def coherence_sanitizer(sanitizers) -> CoherenceSanitizer:
+    """The session's installed :class:`CoherenceSanitizer`."""
+    return sanitizers[1]
 
 
 @pytest.fixture

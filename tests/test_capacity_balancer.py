@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.inspect import describe_pool
 from repro.core.migration import CapacityBalancer
-from repro.core.pool import LogicalMemoryPool
 from repro.core.profiling import AccessProfiler
 from repro.errors import ConfigError
 from repro.units import gib, mib

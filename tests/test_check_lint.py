@@ -1,0 +1,173 @@
+"""Every LMP lint rule fires on a synthetic bad snippet — and the repo
+itself lints clean (the acceptance criterion for `python -m repro check`).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.check.lint import apply_fixes, fix_file, lint_paths, lint_source
+from repro.check.rules import ALL_RULES, LintContext
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: a fake path inside a simulated subsystem, so scoped rules apply
+SIM_PATH = pathlib.Path("src/repro/sim/synthetic.py")
+
+
+def rule_ids(source: str, path: pathlib.Path = SIM_PATH) -> list[str]:
+    report = lint_source(textwrap.dedent(source), path)
+    assert report.parse_error is None
+    return [v.rule_id for v in report.violations]
+
+
+# --- rule registry ------------------------------------------------------------
+
+
+def test_registry_ids_unique_and_documented():
+    ids = [rule.id for rule in ALL_RULES]
+    assert len(ids) == len(set(ids))
+    for rule in ALL_RULES:
+        assert rule.id.startswith("LMP")
+        assert rule.__doc__, f"{rule.id} must document its rationale"
+        assert rule.title
+
+
+def test_context_subsystem_detection():
+    ctx = LintContext.for_path(pathlib.Path("src/repro/core/coherence/protocol.py"))
+    assert ctx.subsystem == "core"
+    assert LintContext.for_path(pathlib.Path("src/repro/cli.py")).subsystem is None
+
+
+# --- LMP001 wall clock --------------------------------------------------------
+
+
+def test_lmp001_flags_time_time():
+    assert "LMP001" in rule_ids("import time\nt = time.time()\n")
+
+
+def test_lmp001_flags_from_import_and_datetime():
+    assert "LMP001" in rule_ids("from time import monotonic\nt = monotonic()\n")
+    assert "LMP001" in rule_ids(
+        "import datetime\nstamp = datetime.datetime.now()\n"
+    )
+
+
+def test_lmp001_ignores_outside_sim_subsystems():
+    # cli.py measuring wall-clock for progress output is legitimate
+    assert "LMP001" not in rule_ids(
+        "import time\nt = time.perf_counter()\n",
+        path=pathlib.Path("src/repro/cli.py"),
+    )
+
+
+# --- LMP002 global random -----------------------------------------------------
+
+
+def test_lmp002_flags_global_random_calls():
+    assert "LMP002" in rule_ids("import random\nx = random.randint(0, 9)\n")
+
+
+def test_lmp002_allows_explicit_generators():
+    assert "LMP002" not in rule_ids(
+        "import random\nrng = random.Random(7)\nx = rng.randint(0, 9)\n"
+    )
+
+
+# --- LMP003 set iteration -----------------------------------------------------
+
+
+def test_lmp003_flags_for_over_set_literal():
+    assert "LMP003" in rule_ids("for h in {3, 1, 2}:\n    print(h)\n")
+
+
+def test_lmp003_flags_for_over_tracked_set_name():
+    source = """
+    def dispatch(entry):
+        victims = {h for h in entry.sharers}
+        for victim in victims:
+            invalidate(victim)
+    """
+    assert "LMP003" in rule_ids(source)
+
+
+def test_lmp003_allows_sorted_iteration():
+    source = """
+    def dispatch(entry):
+        victims = {h for h in entry.sharers}
+        for victim in sorted(victims):
+            invalidate(victim)
+    """
+    assert "LMP003" not in rule_ids(source)
+
+
+def test_lmp003_autofix_wraps_sorted():
+    source = "victims = {1, 2}\nfor v in victims:\n    print(v)\n"
+    report = lint_source(source, SIM_PATH)
+    fixed, applied = apply_fixes(source, report.violations)
+    assert applied == 1
+    assert "for v in sorted(victims):" in fixed
+    assert lint_source(fixed, SIM_PATH).violations == ()
+
+
+def test_lmp003_fix_file_roundtrip(tmp_path):
+    target_dir = tmp_path / "repro" / "sim"
+    target_dir.mkdir(parents=True)
+    target = target_dir / "bad.py"
+    target.write_text("hosts = {2, 1}\nfor h in hosts:\n    print(h)\n")
+    assert fix_file(target) == 1
+    assert "sorted(hosts)" in target.read_text()
+    assert fix_file(target) == 0  # already clean
+
+
+# --- LMP004 float time equality -----------------------------------------------
+
+
+def test_lmp004_flags_equality_on_now():
+    assert "LMP004" in rule_ids("def f(engine, t):\n    return engine.now == t\n")
+
+
+def test_lmp004_allows_ordering_and_integer_zero():
+    assert "LMP004" not in rule_ids("def f(engine, t):\n    return engine.now <= t\n")
+    assert "LMP004" not in rule_ids("def f(engine):\n    return engine.now == 0\n")
+
+
+# --- LMP005 mutable defaults --------------------------------------------------
+
+
+def test_lmp005_flags_mutable_defaults():
+    assert "LMP005" in rule_ids("def f(xs=[]):\n    return xs\n")
+    assert "LMP005" in rule_ids("def f(xs=dict()):\n    return xs\n")
+
+
+def test_lmp005_allows_none_default():
+    assert "LMP005" not in rule_ids("def f(xs=None):\n    return xs or []\n")
+
+
+# --- LMP006 arbitrary set element ---------------------------------------------
+
+
+def test_lmp006_flags_set_pop():
+    source = "pending = {1, 2, 3}\nwinner = pending.pop()\n"
+    assert "LMP006" in rule_ids(source)
+
+
+def test_lmp006_flags_next_iter_set():
+    assert "LMP006" in rule_ids("first = next(iter({3, 1}))\n")
+
+
+def test_lmp006_allows_list_pop():
+    assert "LMP006" not in rule_ids("queue = [1, 2, 3]\nhead = queue.pop()\n")
+
+
+# --- the repo itself ----------------------------------------------------------
+
+
+@pytest.mark.skipif(not SRC_ROOT.exists(), reason="source tree not present")
+def test_repo_lints_clean():
+    reports = lint_paths([SRC_ROOT])
+    findings = [v.format() for r in reports for v in r.violations]
+    assert not findings, "\n".join(findings)

@@ -11,7 +11,6 @@ from repro.core.failures.detector import FailureDetector
 from repro.core.failures.erasure import ReedSolomon, gf_inv, gf_mul
 from repro.core.failures.recovery import RecoveryManager
 from repro.core.failures.replication import ErasureCodedBuffer, ReplicatedBuffer
-from repro.core.pool import LogicalMemoryPool
 from repro.errors import (
     ConfigError,
     MemoryFailureError,

@@ -13,7 +13,6 @@ from repro.errors import (
     MemoryFailureError,
 )
 from repro.mem.interleave import RoundRobinPlacement
-from repro.topology.builder import build_logical, build_physical
 from repro.units import gib, mib
 
 

@@ -7,7 +7,6 @@ import pytest
 from repro.core.api import LmpSession
 from repro.core.runtime import LmpRuntime
 from repro.errors import AddressError, ConfigError
-from repro.topology.builder import build_logical
 from repro.units import gib, mib, ms
 
 

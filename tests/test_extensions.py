@@ -167,6 +167,33 @@ def test_cli_parser_shape():
     assert str(args.out) == "x"
     args = parser.parse_args(["list"])
     assert args.command == "list"
+    args = parser.parse_args(["check", "--fix", "src/repro"])
+    assert args.command == "check" and args.fix
+    assert [str(p) for p in args.paths] == ["src/repro"]
+    args = parser.parse_args(["check", "--determinism", "figure2", "incast"])
+    assert args.determinism == ["figure2", "incast"]
+
+
+def test_cli_check_lints_a_tree(tmp_path: pathlib.Path):
+    from repro.check.runner import run_check
+
+    bad = tmp_path / "repro" / "sim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("hosts = {2, 1}\nfor h in hosts:\n    print(h)\n")
+    out = io.StringIO()
+    assert run_check([tmp_path], stream=out) == 1
+    assert "LMP003" in out.getvalue()
+    # --fix repairs it and the tree then lints clean
+    out = io.StringIO()
+    assert run_check([tmp_path], fix=True, stream=out) == 0
+    assert "sorted(hosts)" in bad.read_text()
+    assert run_check([tmp_path], stream=io.StringIO()) == 0
+
+
+def test_cli_check_missing_path_is_usage_error():
+    from repro.check.runner import run_check
+
+    assert run_check([pathlib.Path("definitely/not/here")], stream=io.StringIO()) == 2
 
 
 def test_cli_registry_names_resolve():

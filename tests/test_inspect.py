@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.inspect import describe_pool, render_pool
-from repro.core.pool import LogicalMemoryPool
 from repro.units import gib
 
 

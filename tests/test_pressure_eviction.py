@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.migration import PressureEvictor
 from repro.core.pool import LogicalMemoryPool
 from repro.core.profiling import AccessProfiler
-from repro.mem.interleave import PinnedPlacement
 from repro.units import gib, mib
 
 

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import dataclasses
 
 import pytest
 
 from repro.errors import ConfigError
-from repro.topology.builder import Deployment, build, build_logical, build_physical
+from repro.topology.builder import Deployment, build, build_logical
 from repro.topology.cost import CostBook, compare_scenarios, deployment_cost
 from repro.topology.specs import (
     DeploymentKind,

@@ -8,7 +8,7 @@ import networkx as nx
 import pytest
 
 from repro.core.compute import ComputeRuntime
-from repro.core.pool import LogicalMemoryPool, PhysicalMemoryPool
+from repro.core.pool import LogicalMemoryPool
 from repro.errors import CapacityError, ConfigError
 from repro.mem.interleave import RoundRobinPlacement
 from repro.topology.builder import build_logical
