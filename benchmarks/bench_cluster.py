@@ -1,0 +1,60 @@
+"""C1 — the multi-tenant rack control plane under load.
+
+Measures the workload driver's wall-clock cost at 1, 8, and 32 tenants
+(the control plane is pure Python, so this is the practical scaling
+limit check), and records the full experiment's tables for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.driver import ClusterDriver, WorkloadMix
+from repro.cluster.manager import PoolManager
+from repro.cluster.tenants import TenantSpec
+from repro.core.runtime import LmpRuntime
+from repro.experiments import cluster
+from repro.mem.layout import PageGeometry
+from repro.topology.builder import build_logical
+from repro.units import kib, mib
+
+
+def _drive(tenant_count: int, ops_per_tenant: int = 30):
+    deployment = build_logical("link0", server_count=4, server_dram_bytes=mib(32))
+    runtime = LmpRuntime(
+        deployment,
+        geometry=PageGeometry(page_bytes=kib(16), extent_bytes=kib(64)),
+        coherent_bytes=kib(64),
+        snoop_filter_lines=256,
+    )
+    driver = ClusterDriver(
+        PoolManager(runtime, policy="capacity-balanced"),
+        mix=WorkloadMix(alloc_bytes=kib(192), access_bytes=kib(4)),
+    )
+    specs = [
+        TenantSpec(
+            tenant_id=f"t{i:02d}", home_server=i % 4, quota_bytes=mib(8)
+        )
+        for i in range(tenant_count)
+    ]
+    return driver.run(specs, ops_per_tenant)
+
+
+@pytest.mark.benchmark(group="cluster")
+@pytest.mark.parametrize("tenants", [1, 8, 32])
+def test_c1_driver_scaling(benchmark, tenants):
+    report = benchmark.pedantic(_drive, args=(tenants,), rounds=1, iterations=1)
+    assert report.total_ops == tenants * 30
+    assert report.leases_leaked == 0
+    assert report.fairness >= 0.8
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_c1_experiment(run_once, record_result):
+    result = run_once(cluster.run)
+    record_result("cluster", result.render())
+    assert all(p.fairness >= 0.8 for p in result.policies)
+    assert any(s.rejected > 0 for s in result.sweep)
+    assert result.reclaim.leases_leaked == 0
+    assert result.reclaim.revoked_bytes_outstanding == 0

@@ -39,11 +39,24 @@ def _scenario_migration() -> _t.Any:
     return migration.run()
 
 
+def _scenario_cluster() -> _t.Any:
+    from repro.experiments import cluster
+
+    return cluster.run(
+        policies=("first-fit", "capacity-balanced"),
+        tenant_count=4,
+        ops_per_tenant=10,
+        sweep_tenant_counts=(4, 8),
+        sweep_shared_fractions=(0.5,),
+    )
+
+
 #: scenario name -> zero-argument callable; reduced sizes keep reruns cheap
 SCENARIOS: dict[str, _t.Callable[[], _t.Any]] = {
     "figure2": _scenario_figure2,
     "incast": _scenario_incast,
     "migration": _scenario_migration,
+    "cluster": _scenario_cluster,
 }
 
 

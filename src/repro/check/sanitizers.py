@@ -30,6 +30,7 @@ from repro.errors import (
     SanitizerError,
     UseAfterFreeError,
 )
+from repro.core.regions import RegionManager
 from repro.mem.allocator import Allocation, BuddyAllocator, FreeListAllocator
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -74,7 +75,7 @@ class _AllocState:
         self.freed[offset] = size
 
 
-_AnyAllocator = _t.Union[FreeListAllocator, BuddyAllocator]
+_AnyAllocator = _t.Union[FreeListAllocator, BuddyAllocator, RegionManager]
 
 
 class AllocSanitizer:
@@ -85,6 +86,11 @@ class AllocSanitizer:
     on.  Misuse raises precise :class:`~repro.errors.SanitizerError`
     subclasses that still inherit the plain allocator errors, so code
     guarding ``AllocationError`` keeps working.
+
+    :class:`~repro.core.regions.RegionManager` frame pools (the logical
+    pool's real backing store) are shadowed too, one page-sized block
+    per frame — which is how the cluster control plane proves that
+    revoking a tenant's leases reclaims every frame it held.
     """
 
     _active: _t.ClassVar["AllocSanitizer | None"] = None
@@ -95,6 +101,7 @@ class AllocSanitizer:
 
     def __init__(self) -> None:
         self._originals: dict[type, tuple[_t.Callable, _t.Callable]] = {}
+        self._region_originals: tuple[_t.Callable, _t.Callable] | None = None
 
     # -- install / uninstall -------------------------------------------------
 
@@ -105,6 +112,16 @@ class AllocSanitizer:
             self._originals[cls] = (cls.allocate, cls.free)
             cls.allocate = self._wrap_allocate(cls.allocate)  # type: ignore[method-assign]
             cls.free = self._wrap_free(cls.free)  # type: ignore[method-assign]
+        self._region_originals = (
+            RegionManager.allocate_frames,
+            RegionManager.free_frames,
+        )
+        RegionManager.allocate_frames = self._wrap_allocate_frames(  # type: ignore[method-assign]
+            RegionManager.allocate_frames
+        )
+        RegionManager.free_frames = self._wrap_free_frames(  # type: ignore[method-assign]
+            RegionManager.free_frames
+        )
         AllocSanitizer._active = self
 
     def uninstall(self) -> None:
@@ -114,6 +131,11 @@ class AllocSanitizer:
             cls.allocate = orig_alloc  # type: ignore[method-assign]
             cls.free = orig_free  # type: ignore[method-assign]
         self._originals.clear()
+        assert self._region_originals is not None
+        RegionManager.allocate_frames, RegionManager.free_frames = (  # type: ignore[method-assign]
+            self._region_originals
+        )
+        self._region_originals = None
         AllocSanitizer._active = None
 
     @contextlib.contextmanager
@@ -168,6 +190,42 @@ class AllocSanitizer:
                 state.record_free(offset)
 
         return free
+
+    def _wrap_allocate_frames(self, inner: _t.Callable) -> _t.Callable:
+        sanitizer = self
+
+        def allocate_frames(
+            region_self: RegionManager, count: int, highest: bool = False
+        ) -> list[int]:
+            frames: list[int] = inner(region_self, count, highest=highest)
+            state = sanitizer._state(region_self)
+            page = region_self.page_bytes
+            for frame in frames:
+                clash = state.overlapping_live(frame, page)
+                if clash is not None:
+                    raise OverlapError(
+                        f"server {region_self.server.server_id}: frame {frame} "
+                        f"granted while live as [{clash[0]}, {clash[0] + clash[1]})"
+                    )
+                state.record_alloc(frame, page)
+            return frames
+
+        return allocate_frames
+
+    def _wrap_free_frames(self, inner: _t.Callable) -> _t.Callable:
+        sanitizer = self
+
+        def free_frames(region_self: RegionManager, frames: _t.Iterable[int]) -> None:
+            materialized = list(frames)
+            # the region manager's own not-in-use check runs first, so
+            # plain-API misuse keeps raising AllocationError as before
+            inner(region_self, materialized)
+            state = sanitizer._state(region_self)
+            for frame in materialized:
+                if frame in state.live:
+                    state.record_free(frame)
+
+        return free_frames
 
     # -- explicit checks -----------------------------------------------------
 

@@ -62,6 +62,10 @@ EXPERIMENTS: dict[str, tuple[str, _t.Callable[[], _t.Any]]] = {
     "migration": ("A3: locality balancing on/off", _runner("migration")),
     "coherence": ("A4: snoop-filter pressure + lock designs", _runner("coherence")),
     "failures": ("A5: crash recovery regimes", _runner("failures")),
+    "cluster": (
+        "C1: multi-tenant rack control plane (admission, placement, leases, fairness)",
+        _runner("cluster"),
+    ),
 }
 
 
@@ -75,6 +79,7 @@ def run_experiments(
     names: _t.Sequence[str],
     out_dir: pathlib.Path | None = None,
     stream: _t.TextIO = sys.stdout,
+    policies: _t.Sequence[str] | None = None,
 ) -> int:
     """Run experiments by name; returns a process exit code."""
     if "all" in names:
@@ -85,9 +90,26 @@ def run_experiments(
         print("known:", file=sys.stderr)
         list_experiments(sys.stderr)
         return 2
+    if policies is not None:
+        if "cluster" not in names:
+            print("--policies only applies to the 'cluster' experiment", file=sys.stderr)
+            return 2
+        from repro.cluster.placement import CLUSTER_POLICIES
+
+        bad = [p for p in policies if p not in CLUSTER_POLICIES]
+        if bad:
+            known = ", ".join(sorted(CLUSTER_POLICIES))
+            print(
+                f"unknown placement polic{'ies' if len(bad) > 1 else 'y'}: "
+                f"{', '.join(bad)} (known: {known})",
+                file=sys.stderr,
+            )
+            return 2
 
     for name in names:
         description, runner = EXPERIMENTS[name]
+        if name == "cluster" and policies is not None:
+            runner = _runner("cluster", policies=tuple(policies))
         print(f"=== {name}: {description} ===", file=stream)
         started = time.perf_counter()
         result = runner()
@@ -115,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=pathlib.Path,
         default=None,
         help="directory to write rendered <id>.txt files into",
+    )
+    run_cmd.add_argument(
+        "--policies",
+        default=None,
+        help="comma-separated placement schedulers for the 'cluster' "
+        "experiment (e.g. first-fit,fragmentation-aware)",
     )
     check_cmd = commands.add_parser(
         "check",
@@ -151,7 +179,8 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         from repro.check.runner import run_check
 
         return run_check(args.paths, fix=args.fix, determinism=args.determinism)
-    return run_experiments(args.names, out_dir=args.out)
+    policies = args.policies.split(",") if args.policies else None
+    return run_experiments(args.names, out_dir=args.out, policies=policies)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

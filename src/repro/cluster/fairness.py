@@ -1,0 +1,25 @@
+"""Fairness metrics for multi-tenant reports.
+
+Jain's index is the standard single number for "how evenly did N
+tenants share the rack": 1.0 is perfectly even, 1/N is one tenant
+taking everything.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+
+def jain_index(values: _t.Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    Returns 1.0 for an empty or all-zero population (nothing was shared,
+    so nothing was shared unfairly).
+    """
+    if not values:
+        return 1.0
+    total = float(sum(values))
+    squares = float(sum(v * v for v in values))
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (len(values) * squares)

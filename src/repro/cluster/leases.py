@@ -1,0 +1,125 @@
+"""Lease-based ownership of pooled memory.
+
+Every grant the :class:`~repro.cluster.manager.PoolManager` makes is a
+*lease*: the tenant holds the backing frames only while the lease is
+live.  Leases make reclamation after a crash mechanical — the failure
+path never chases raw buffers around, it revokes a tenant's leases and
+each one knows exactly which buffer (and therefore which frames, via
+the pool's page tables) to give back.
+
+Leases may carry a TTL.  A tenant that keeps touching its memory renews
+them as a side effect; one that silently dies stops renewing, and the
+manager's sweeper reclaims the expired leases — the soft-state design
+that keeps a rack from leaking capacity to zombie tenants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as _t
+
+from repro.errors import LeaseError
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.buffer import Buffer
+
+
+@dataclasses.dataclass
+class Lease:
+    """One tenant's claim on one pooled buffer."""
+
+    lease_id: int
+    tenant_id: str
+    buffer: "Buffer"
+    footprint_bytes: int  # extent-granular bytes charged against the quota
+    granted_at: float
+    expires_at: float = math.inf
+
+    @property
+    def size(self) -> int:
+        return self.buffer.size
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+class LeaseTable:
+    """The rack-wide registry of live leases."""
+
+    def __init__(self) -> None:
+        self._by_id: dict[int, Lease] = {}
+        self._next_id = 1
+        self.total_granted = 0
+        self.total_released = 0
+        self.total_expired = 0
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def grant(
+        self,
+        tenant_id: str,
+        buffer: "Buffer",
+        footprint_bytes: int,
+        now: float,
+        ttl: float | None = None,
+    ) -> Lease:
+        lease = Lease(
+            lease_id=self._next_id,
+            tenant_id=tenant_id,
+            buffer=buffer,
+            footprint_bytes=footprint_bytes,
+            granted_at=now,
+            expires_at=math.inf if ttl is None else now + ttl,
+        )
+        self._next_id += 1
+        self._by_id[lease.lease_id] = lease
+        self.total_granted += 1
+        return lease
+
+    def release(self, lease: Lease) -> None:
+        if self._by_id.pop(lease.lease_id, None) is None:
+            raise LeaseError(
+                f"lease {lease.lease_id} ({lease.tenant_id}) is not live; "
+                "already released or revoked?"
+            )
+        self.total_released += 1
+
+    def renew(self, lease: Lease, now: float, ttl: float) -> None:
+        if lease.lease_id not in self._by_id:
+            raise LeaseError(f"cannot renew dead lease {lease.lease_id}")
+        lease.expires_at = now + ttl
+
+    def lookup(self, lease_id: int) -> Lease:
+        try:
+            return self._by_id[lease_id]
+        except KeyError:
+            raise LeaseError(f"no live lease {lease_id}") from None
+
+    def find_by_buffer(self, buffer: "Buffer") -> Lease | None:
+        """The live lease backing *buffer*, if any (id order breaks ties)."""
+        for lease_id in sorted(self._by_id):
+            if self._by_id[lease_id].buffer is buffer:
+                return self._by_id[lease_id]
+        return None
+
+    def of_tenant(self, tenant_id: str) -> list[Lease]:
+        """Live leases of one tenant, in grant order."""
+        return [
+            self._by_id[lease_id]
+            for lease_id in sorted(self._by_id)
+            if self._by_id[lease_id].tenant_id == tenant_id
+        ]
+
+    def expired(self, now: float) -> list[Lease]:
+        """Live leases whose TTL has lapsed, in grant order."""
+        return [
+            self._by_id[lease_id]
+            for lease_id in sorted(self._by_id)
+            if self._by_id[lease_id].expired(now)
+        ]
+
+    def live_bytes(self) -> int:
+        """Extent-granular footprint of every live lease."""
+        return sum(lease.footprint_bytes for lease in self._by_id.values())

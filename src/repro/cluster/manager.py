@@ -1,0 +1,404 @@
+"""The PoolManager: a rack's capacity control plane.
+
+One :class:`PoolManager` process owns the rack-wide view of every
+server's shared region and mediates *all* cross-server allocation:
+
+* tenants are registered with quotas and priority classes
+  (:mod:`repro.cluster.tenants`),
+* requests pass admission control (:mod:`repro.cluster.admission`) and
+  either grant immediately, wait in a priority queue for capacity, or
+  are rejected,
+* grants are placed by a pluggable scheduler
+  (:mod:`repro.cluster.placement`) and held under leases
+  (:mod:`repro.cluster.leases`),
+* a :class:`~repro.core.failures.detector.FailureDetector` callback
+  revokes a crashed server's tenants, reclaiming every frame they held
+  — which the :class:`~repro.check.sanitizers.AllocSanitizer`'s shadow
+  frame tracking can prove leak-free.
+
+All bookkeeping iterates sorted structures, so a cluster run is
+trace-deterministic and sits behind the PR-1 ``repro check`` gate like
+every other scenario.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.cluster.admission import AdmissionController, Decision
+from repro.cluster.leases import Lease, LeaseTable
+from repro.cluster.placement import make_policy
+from repro.cluster.tenants import TenantSpec, TenantState
+from repro.core.api import LmpSession, SessionObserver
+from repro.core.buffer import Buffer
+from repro.core.runtime import LmpRuntime
+from repro.errors import (
+    AdmissionError,
+    CapacityError,
+    ClusterError,
+    ConfigError,
+    QuotaExceededError,
+    TenantRevokedError,
+)
+from repro.mem.interleave import PlacementPolicy
+from repro.sim.stats import StatSet
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.failures.detector import Detection, FailureDetector
+    from repro.sim.process import Process
+
+
+@dataclasses.dataclass(frozen=True)
+class ReclaimReport:
+    """What revoking one tenant gave back to the rack."""
+
+    tenant_id: str
+    reason: str
+    leases_revoked: int
+    bytes_reclaimed: int
+    frames_reclaimed: int
+    queued_requests_failed: int
+
+
+@dataclasses.dataclass
+class _Waiter:
+    """One queued admission request."""
+
+    order: tuple[int, int]  # (-priority, arrival seq): smaller = served first
+    tenant_id: str
+    size: int
+    footprint: int
+    name: str
+    event: _t.Any  # sim Event succeeded with the Lease (or failed)
+    enqueued_at: float
+
+
+class _TenantObserver(SessionObserver):
+    """Session hooks charging the ledger and registering leases.
+
+    Installed on every session the manager opens, so even direct
+    ``session.alloc`` calls (bypassing the admission queue) are metered
+    and leased — quota cannot be sidestepped.
+    """
+
+    def __init__(self, manager: "PoolManager", tenant: TenantState) -> None:
+        self.manager = manager
+        self.tenant = tenant
+
+    def before_alloc(self, session: LmpSession, size: int) -> None:
+        if self.tenant.revoked:
+            raise TenantRevokedError(
+                f"tenant {self.tenant.tenant_id} is revoked: {self.tenant.revoke_reason}"
+            )
+        footprint = self.manager.footprint(size)
+        if footprint > self.tenant.quota_remaining:
+            self.tenant.rejected_quota += 1
+            self.manager.stats.counter("rejected.quota").add()
+            raise QuotaExceededError(
+                f"tenant {self.tenant.tenant_id}: {footprint}B footprint exceeds "
+                f"remaining quota {self.tenant.quota_remaining}B"
+            )
+
+    def on_alloc(self, session: LmpSession, buffer: Buffer) -> None:
+        manager = self.manager
+        footprint = manager.footprint(buffer.size)
+        self.tenant.charge(footprint)
+        lease = manager.leases.grant(
+            self.tenant.tenant_id,
+            buffer,
+            footprint,
+            now=manager.engine.now,
+            ttl=manager.default_ttl,
+        )
+        self.tenant.leases[lease.lease_id] = lease
+        self.tenant.granted += 1
+        manager.stats.counter("granted").add()
+
+    def on_free(self, session: LmpSession, buffer: Buffer) -> None:
+        manager = self.manager
+        lease = manager.leases.find_by_buffer(buffer)
+        if lease is None:
+            return  # buffer was never leased (freed twice is caught by the pool)
+        manager.leases.release(lease)
+        self.tenant.leases.pop(lease.lease_id, None)
+        self.tenant.refund(lease.footprint_bytes)
+        manager._service_queue()
+
+
+class PoolManager:
+    """Admission + placement + leases over one :class:`LmpRuntime`."""
+
+    def __init__(
+        self,
+        runtime: LmpRuntime,
+        policy: str | PlacementPolicy = "first-fit",
+        admission: AdmissionController | None = None,
+        default_ttl: float | None = None,
+    ) -> None:
+        if default_ttl is not None and default_ttl <= 0:
+            raise ConfigError(f"default_ttl must be positive, got {default_ttl}")
+        self.runtime = runtime
+        self.engine = runtime.engine
+        self.pool = runtime.pool
+        self.policy = make_policy(policy)
+        # the scheduler decides placement for every grant the rack makes
+        self.pool.placement = self.policy
+        self.admission = admission or AdmissionController()
+        self.default_ttl = default_ttl
+        self.leases = LeaseTable()
+        self.tenants: dict[str, TenantState] = {}
+        self.stats = StatSet("cluster")
+        self._queue: list[_Waiter] = []
+        self._arrivals = 0
+        self.reclaim_reports: list[ReclaimReport] = []
+
+    # -- tenant lifecycle ----------------------------------------------------
+
+    def register_tenant(self, spec: TenantSpec) -> TenantState:
+        if spec.tenant_id in self.tenants:
+            raise ConfigError(f"tenant {spec.tenant_id!r} is already registered")
+        if spec.home_server not in self.pool.regions:
+            raise ConfigError(
+                f"tenant {spec.tenant_id!r}: home server {spec.home_server} "
+                "is not part of this pool"
+            )
+        tenant = TenantState(spec)
+        self.tenants[spec.tenant_id] = tenant
+        return tenant
+
+    def tenant(self, tenant_id: str) -> TenantState:
+        try:
+            return self.tenants[tenant_id]
+        except KeyError:
+            raise ConfigError(f"unknown tenant {tenant_id!r}") from None
+
+    def open_session(self, tenant_id: str, server_id: int | None = None) -> LmpSession:
+        """Open a metered session for *tenant_id* (default: its home)."""
+        tenant = self.tenant(tenant_id)
+        session = LmpSession(
+            self.runtime,
+            tenant.spec.home_server if server_id is None else server_id,
+            observer=_TenantObserver(self, tenant),
+        )
+        tenant.sessions.append(session)
+        self.stats.counter("sessions.opened").add()
+        return session
+
+    # -- capacity accounting -------------------------------------------------
+
+    def footprint(self, size: int) -> int:
+        """Extent-granular bytes a grant of *size* costs the rack."""
+        extent = self.pool.geometry.extent_bytes
+        return -(-size // extent) * extent
+
+    def pool_free_bytes(self) -> int:
+        """Capacity placement could still use: free shared plus private
+        memory live servers can flex into the pool (§4.5)."""
+        return sum(self.pool.potential_free_by_server().values())
+
+    def rack_view(self) -> list[tuple[int, int, int, bool]]:
+        """Per-server (id, shared_used, potential_free, alive) rows."""
+        rows = []
+        potential = self.pool.potential_free_by_server()
+        for sid in sorted(self.pool.regions):
+            region = self.pool.regions[sid]
+            alive = self.runtime.deployment.server(sid).alive
+            rows.append((sid, region.shared_used_bytes, potential.get(sid, 0), alive))
+        return rows
+
+    # -- the allocation path -------------------------------------------------
+
+    def acquire(self, tenant_id: str, size: int, name: str = "") -> "Process":
+        """Request *size* bytes under a lease; the process returns the
+        :class:`Lease` or raises an :class:`AdmissionError` subclass."""
+        return self.engine.process(
+            self._acquire_body(tenant_id, size, name),
+            name=f"acquire.{tenant_id}",
+        )
+
+    def _acquire_body(self, tenant_id: str, size: int, name: str):
+        tenant = self.tenant(tenant_id)
+        footprint = self.footprint(size)
+        verdict = self.admission.decide(
+            tenant, footprint, self.pool_free_bytes(), len(self._queue)
+        )
+        if verdict.decision is Decision.GRANT:
+            lease = self._grant(tenant, size, name)
+            self.stats.histogram("wait_ns").record(0.0)
+            return lease
+        if verdict.decision is Decision.QUEUE:
+            tenant.queued += 1
+            self.stats.counter("queued").add()
+            self._arrivals += 1
+            waiter = _Waiter(
+                order=(-int(tenant.spec.priority), self._arrivals),
+                tenant_id=tenant_id,
+                size=size,
+                footprint=footprint,
+                name=name,
+                event=self.engine.event(f"admission.wait.{tenant_id}"),
+                enqueued_at=self.engine.now,
+            )
+            self._queue.append(waiter)
+            self._queue.sort(key=lambda w: w.order)
+            lease = yield waiter.event
+            self.stats.histogram("wait_ns").record(self.engine.now - waiter.enqueued_at)
+            return lease
+        # a rejection: count it under the right reason and raise
+        if verdict.decision is Decision.REJECT_QUOTA:
+            tenant.rejected_quota += 1
+            self.stats.counter("rejected.quota").add()
+            raise QuotaExceededError(verdict.reason)
+        if verdict.decision is Decision.REJECT_REVOKED:
+            raise TenantRevokedError(verdict.reason)
+        tenant.rejected_capacity += 1
+        self.stats.counter("rejected.capacity").add()
+        raise AdmissionError(f"tenant {tenant_id}: {verdict.reason}")
+        yield  # pragma: no cover - makes this function a generator
+
+    def _grant(self, tenant: TenantState, size: int, name: str) -> Lease:
+        """Allocate through the tenant's control session; the observer
+        charges the quota and registers the lease."""
+        session = self._control_session(tenant)
+        try:
+            buffer = session.alloc(size, name=name or f"{tenant.tenant_id}.lease")
+        except QuotaExceededError:
+            raise
+        except CapacityError as exc:
+            # admission raced a concurrent grant; surface as a rejection
+            tenant.rejected_capacity += 1
+            self.stats.counter("rejected.capacity").add()
+            raise AdmissionError(f"tenant {tenant.tenant_id}: {exc}") from exc
+        lease = self.leases.find_by_buffer(buffer)
+        assert lease is not None  # the observer just granted it
+        return lease
+
+    def _control_session(self, tenant: TenantState) -> LmpSession:
+        if not tenant.sessions:
+            self.open_session(tenant.tenant_id)
+        return tenant.sessions[0]
+
+    def release(self, lease: Lease) -> None:
+        """Give a lease's memory back and wake queued requests."""
+        self.leases.lookup(lease.lease_id)  # raises LeaseError if dead
+        tenant = self.tenant(lease.tenant_id)
+        self._control_session(tenant).free(lease.buffer)
+
+    def renew(self, lease: Lease) -> None:
+        """Refresh a TTL lease (no-op when leases do not expire)."""
+        if self.default_ttl is not None:
+            self.leases.renew(lease, self.engine.now, self.default_ttl)
+
+    def _service_queue(self) -> None:
+        """Grant queued requests, highest priority first, while the head
+        of the queue fits (no skipping: head-of-line within a priority
+        keeps the policy starvation-free)."""
+        while self._queue:
+            waiter = self._queue[0]
+            tenant = self.tenant(waiter.tenant_id)
+            if tenant.revoked:
+                self._queue.pop(0)
+                waiter.event.fail(
+                    TenantRevokedError(
+                        f"tenant {waiter.tenant_id} revoked while queued"
+                    )
+                )
+                continue
+            if waiter.footprint > self.pool_free_bytes():
+                return
+            self._queue.pop(0)
+            try:
+                lease = self._grant(tenant, waiter.size, waiter.name)
+            except (AdmissionError, ClusterError) as exc:
+                waiter.event.fail(exc)
+                continue
+            waiter.event.succeed(lease)
+
+    # -- revocation and failure handling --------------------------------------
+
+    def revoke_tenant(self, tenant_id: str, reason: str = "revoked") -> ReclaimReport:
+        """Revoke every lease of *tenant_id* and reclaim its frames.
+
+        Safe against a crashed home server: freeing walks the page
+        tables and region managers, which survive the host's death.
+        """
+        tenant = self.tenant(tenant_id)
+        tenant.revoked = True
+        tenant.revoke_reason = reason
+        page_bytes = self.pool.geometry.page_bytes
+        leases = self.leases.of_tenant(tenant_id)
+        bytes_reclaimed = 0
+        for lease in leases:
+            bytes_reclaimed += lease.footprint_bytes
+            self._control_session(tenant).free(lease.buffer)
+        failed = 0
+        for waiter in [w for w in self._queue if w.tenant_id == tenant_id]:
+            self._queue.remove(waiter)
+            waiter.event.fail(TenantRevokedError(f"tenant {tenant_id}: {reason}"))
+            failed += 1
+        report = ReclaimReport(
+            tenant_id=tenant_id,
+            reason=reason,
+            leases_revoked=len(leases),
+            bytes_reclaimed=bytes_reclaimed,
+            frames_reclaimed=bytes_reclaimed // page_bytes,
+            queued_requests_failed=failed,
+        )
+        self.reclaim_reports.append(report)
+        self.stats.counter("leases.revoked").add(len(leases))
+        self._service_queue()
+        return report
+
+    def attach_detector(self, detector: "FailureDetector") -> None:
+        """Revoke a crashed server's tenants the moment the heartbeat
+        monitor confirms the failure."""
+        detector.on_failure(self._on_server_failure)
+
+    def _on_server_failure(self, detection: "Detection") -> None:
+        for tenant_id in sorted(self.tenants):
+            tenant = self.tenants[tenant_id]
+            if tenant.spec.home_server == detection.server_id and not tenant.revoked:
+                self.revoke_tenant(
+                    tenant_id, reason=f"home server {detection.server_id} crashed"
+                )
+
+    # -- lease expiry --------------------------------------------------------
+
+    def lease_sweeper(self, duration: float, period: float) -> "Process":
+        """Reclaim expired leases every *period* for *duration* ns; the
+        process returns the number of leases it expired."""
+        if period <= 0 or duration <= 0:
+            raise ConfigError("sweeper needs positive period and duration")
+        return self.engine.process(
+            self._sweeper_body(duration, period), name="cluster.sweeper"
+        )
+
+    def _sweeper_body(self, duration: float, period: float):
+        expired_total = 0
+        ticks = max(1, int(duration // period))
+        for _tick in range(ticks):
+            yield self.engine.timeout(period)
+            for lease in self.leases.expired(self.engine.now):
+                tenant = self.tenant(lease.tenant_id)
+                self._control_session(tenant).free(lease.buffer)
+                self.leases.total_expired += 1
+                expired_total += 1
+                self.stats.counter("leases.expired").add()
+        return expired_total
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def rejection_rate(self) -> float:
+        """Rejected requests / all concluded requests."""
+        granted = self.stats.counter("granted").value
+        rejected = (
+            self.stats.counter("rejected.quota").value
+            + self.stats.counter("rejected.capacity").value
+        )
+        total = granted + rejected
+        return rejected / total if total else 0.0

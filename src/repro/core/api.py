@@ -47,14 +47,40 @@ class Mapping:
         return self.vaddr + self.buffer.size
 
 
+class SessionObserver:
+    """Hooks a control plane installs on a session to meter it.
+
+    ``repro.cluster`` uses these to do lease bookkeeping and per-tenant
+    quota accounting on every allocation path — including direct
+    ``session.alloc`` calls that never went through the rack's admission
+    queue, so a tenant cannot sidestep its quota.  All hooks are
+    synchronous; ``before_alloc`` may veto by raising.
+    """
+
+    def before_alloc(self, session: "LmpSession", size: int) -> None:
+        """Called before the pool allocation; raise to veto."""
+
+    def on_alloc(self, session: "LmpSession", buffer: Buffer) -> None:
+        """Called after a successful allocation."""
+
+    def on_free(self, session: "LmpSession", buffer: Buffer) -> None:
+        """Called after a buffer is released back to the pool."""
+
+
 class LmpSession:
     """One application's handle, bound to its home server."""
 
-    def __init__(self, runtime: LmpRuntime, server_id: int) -> None:
+    def __init__(
+        self,
+        runtime: LmpRuntime,
+        server_id: int,
+        observer: SessionObserver | None = None,
+    ) -> None:
         if server_id not in runtime.pool.regions:
             raise ConfigError(f"server {server_id} is not part of this pool")
         self.runtime = runtime
         self.server_id = server_id
+        self.observer = observer
         self._mappings: list[Mapping] = []
         self._next_vaddr = _VBASE
 
@@ -62,11 +88,18 @@ class LmpSession:
 
     def alloc(self, size: int, name: str = "") -> Buffer:
         """Allocate pooled memory, placed local-first for this session."""
-        return self.runtime.pool.allocate(size, requester_id=self.server_id, name=name)
+        if self.observer is not None:
+            self.observer.before_alloc(self, size)
+        buffer = self.runtime.pool.allocate(size, requester_id=self.server_id, name=name)
+        if self.observer is not None:
+            self.observer.on_alloc(self, buffer)
+        return buffer
 
     def free(self, buffer: Buffer) -> None:
         self._mappings = [m for m in self._mappings if m.buffer is not buffer]
         self.runtime.pool.free(buffer)
+        if self.observer is not None:
+            self.observer.on_free(self, buffer)
 
     # -- virtual mapping -----------------------------------------------------------
 

@@ -88,6 +88,15 @@ class LmpRuntime:
         self._next_coherent_line = 0
         self.epoch_reports: list[EpochReport] = []
 
+    def session(self, server_id: int, observer: _t.Any = None) -> "_t.Any":
+        """Open an :class:`~repro.core.api.LmpSession` homed on
+        *server_id*; *observer* is a
+        :class:`~repro.core.api.SessionObserver` a control plane uses to
+        meter the session (lease and quota accounting)."""
+        from repro.core.api import LmpSession
+
+        return LmpSession(self, server_id, observer=observer)
+
     # -- coherent-line allocation (for the sync primitives) -----------------------
 
     def allocate_coherent_lines(self, count: int) -> int:

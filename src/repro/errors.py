@@ -75,6 +75,32 @@ class InfeasibleWorkloadError(CapacityError):
     pool with the 96 GB vector)."""
 
 
+class ClusterError(ReproError):
+    """Base class for errors raised by the ``repro.cluster`` control
+    plane (admission, leases, tenant lifecycle)."""
+
+
+class AdmissionError(ClusterError, CapacityError):
+    """The control plane declined an allocation request.
+
+    Also a :class:`CapacityError` so tenants written against the plain
+    pool API handle cluster rejections with the same guard."""
+
+
+class QuotaExceededError(AdmissionError):
+    """A request would push a tenant past its capacity quota."""
+
+
+class TenantRevokedError(ClusterError):
+    """An operation was attempted by (or on behalf of) a tenant whose
+    leases have been revoked."""
+
+
+class LeaseError(ClusterError):
+    """A lease was used incorrectly (unknown, already released, or
+    owned by a different tenant)."""
+
+
 class SanitizerError(ReproError):
     """Base class for every error raised by the ``repro.check`` runtime
     sanitizers (the substitute for silicon validation: we have no

@@ -1,0 +1,370 @@
+"""C1 — the multi-tenant rack (admission, placement, leases, fairness).
+
+The paper's control-plane sketch (§3.1: "a cluster manager that
+allocates memory to servers") made concrete: dozens of tenants with
+quotas and priority classes drive concurrent sessions against one
+logical pool while a :class:`~repro.cluster.manager.PoolManager`
+mediates every grant.  Three questions:
+
+1. **Placement** — how do the schedulers compare on throughput, tail
+   latency, and fairness for the same tenant mix?
+2. **Oversubscription** — how does the admission-rejection rate move
+   with tenant count and the *initial* shared-region ratio?  (Spoiler:
+   tenant count dominates and the initial ratio barely matters, because
+   logical pools flex private memory into the shared region on demand —
+   Benefit 4 / §4.5.)
+3. **Reclamation** — when a server crashes mid-run, does lease
+   revocation give every frame back?
+
+All runs use a scaled-down geometry (16 KiB pages, 64 KiB extents over
+a few MiB of DRAM per server) so the functional simulation stays fast;
+the control-plane logic is size-independent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.analysis.report import format_table
+from repro.cluster.driver import ClusterDriver, DriverReport, WorkloadMix
+from repro.cluster.manager import PoolManager
+from repro.cluster.placement import CLUSTER_POLICIES
+from repro.cluster.tenants import PriorityClass, TenantSpec
+from repro.core.failures.detector import FailureDetector
+from repro.core.runtime import LmpRuntime
+from repro.errors import ConfigError
+from repro.mem.layout import PageGeometry
+from repro.topology.builder import build_logical
+from repro.units import kib, mib, us
+
+#: scaled-down sizes for fast functional runs
+_PAGE = kib(16)
+_EXTENT = kib(64)
+_ALLOC = kib(192)  # three extents per grant
+_ACCESS = kib(4)
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicyOutcome:
+    """One scheduler's run over the identical tenant mix."""
+
+    policy: str
+    total_ops: int
+    agg_throughput_ops_s: float
+    p99_us: float
+    fairness: float
+    rejection_rate: float
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantRow:
+    tenant_id: str
+    priority: str
+    ops: int
+    granted: int
+    rejected: int
+    throughput_ops_s: float
+    p99_us: float
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    shared_fraction: float
+    tenant_count: int
+    granted: int
+    rejected: int
+    rejection_rate: float
+
+
+@dataclasses.dataclass(frozen=True)
+class ReclaimSummary:
+    crashed_server: int
+    detection_us: float
+    tenants_revoked: int
+    leases_revoked: int
+    frames_reclaimed: int
+    revoked_bytes_outstanding: int  # must be 0: reclamation is total
+    leases_leaked: int  # must be 0 rack-wide at end of run
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterResult:
+    tenant_count: int
+    ops_per_tenant: int
+    policies: tuple[PolicyOutcome, ...]
+    tenants: tuple[TenantRow, ...]  # per-tenant detail of the first policy
+    sweep: tuple[SweepPoint, ...]
+    reclaim: ReclaimSummary
+
+    def render(self) -> str:
+        policy_table = format_table(
+            ["policy", "ops", "ops/s", "p99 us", "Jain", "reject %"],
+            [
+                (
+                    p.policy,
+                    p.total_ops,
+                    f"{p.agg_throughput_ops_s:,.0f}",
+                    f"{p.p99_us:.2f}",
+                    f"{p.fairness:.3f}",
+                    f"{100 * p.rejection_rate:.1f}",
+                )
+                for p in self.policies
+            ],
+            title=(
+                f"C1 placement schedulers: {self.tenant_count} tenants x "
+                f"{self.ops_per_tenant} ops"
+            ),
+        )
+        tenant_table = format_table(
+            ["tenant", "class", "ops", "granted", "rejected", "ops/s", "p99 us"],
+            [
+                (
+                    t.tenant_id,
+                    t.priority,
+                    t.ops,
+                    t.granted,
+                    t.rejected,
+                    f"{t.throughput_ops_s:,.0f}",
+                    f"{t.p99_us:.2f}",
+                )
+                for t in self.tenants
+            ],
+            title=f"per-tenant detail ({self.policies[0].policy})",
+        )
+        sweep_table = format_table(
+            ["shared ratio", "tenants", "granted", "rejected", "reject %"],
+            [
+                (
+                    f"{s.shared_fraction:.2f}",
+                    s.tenant_count,
+                    s.granted,
+                    s.rejected,
+                    f"{100 * s.rejection_rate:.1f}",
+                )
+                for s in self.sweep
+            ],
+            title="admission under oversubscription (best-effort tenants)",
+        )
+        r = self.reclaim
+        reclaim_lines = "\n".join(
+            [
+                f"crash of server {r.crashed_server}: detected after "
+                f"{r.detection_us:.1f} us, {r.tenants_revoked} tenants revoked, "
+                f"{r.leases_revoked} leases -> {r.frames_reclaimed} frames reclaimed",
+                f"revoked tenants' outstanding bytes: {r.revoked_bytes_outstanding} "
+                f"(must be 0); leases leaked rack-wide: {r.leases_leaked}",
+            ]
+        )
+        return "\n\n".join([policy_table, tenant_table, sweep_table, reclaim_lines])
+
+
+def _mix() -> WorkloadMix:
+    return WorkloadMix(alloc_bytes=_ALLOC, access_bytes=_ACCESS)
+
+
+def _manager(
+    policy: str,
+    server_count: int,
+    server_dram_bytes: int,
+    shared_fraction: float,
+    seed: int,
+) -> PoolManager:
+    deployment = build_logical(
+        "link0",
+        seed=seed,
+        server_count=server_count,
+        server_dram_bytes=server_dram_bytes,
+    )
+    runtime = LmpRuntime(
+        deployment,
+        geometry=PageGeometry(page_bytes=_PAGE, extent_bytes=_EXTENT),
+        shared_fraction=shared_fraction,
+        coherent_bytes=kib(64),
+        snoop_filter_lines=256,
+    )
+    return PoolManager(runtime, policy=policy)
+
+
+def _specs(
+    tenant_count: int,
+    server_count: int,
+    quota_bytes: int,
+    priority: PriorityClass,
+) -> list[TenantSpec]:
+    return [
+        TenantSpec(
+            tenant_id=f"t{i:02d}",
+            home_server=i % server_count,
+            quota_bytes=quota_bytes,
+            priority=priority,
+        )
+        for i in range(tenant_count)
+    ]
+
+
+def _policy_run(
+    policy: str,
+    tenant_count: int,
+    ops_per_tenant: int,
+    server_count: int,
+    server_dram_bytes: int,
+    shared_fraction: float,
+    seed: int,
+) -> tuple[PolicyOutcome, DriverReport]:
+    manager = _manager(policy, server_count, server_dram_bytes, shared_fraction, seed)
+    driver = ClusterDriver(manager, mix=_mix())
+    specs = _specs(tenant_count, server_count, quota_bytes=mib(8), priority=PriorityClass.STANDARD)
+    report = driver.run(specs, ops_per_tenant)
+    duration_s = max(report.duration_ns, 1.0) / 1e9
+    outcome = PolicyOutcome(
+        policy=policy,
+        total_ops=report.total_ops,
+        agg_throughput_ops_s=report.total_ops / duration_s,
+        p99_us=report.p99_ns / 1e3,
+        fairness=report.fairness,
+        rejection_rate=report.rejection_rate,
+    )
+    return outcome, report
+
+
+def _sweep_point(
+    shared_fraction: float,
+    tenant_count: int,
+    ops_per_tenant: int,
+    server_count: int,
+    seed: int,
+) -> SweepPoint:
+    # a deliberately tiny rack: demand outgrows it as tenants multiply
+    manager = _manager(
+        "capacity-balanced", server_count, mib(1), shared_fraction, seed
+    )
+    driver = ClusterDriver(manager, mix=_mix())
+    specs = _specs(
+        tenant_count, server_count, quota_bytes=mib(4), priority=PriorityClass.BEST_EFFORT
+    )
+    driver.run(specs, ops_per_tenant)
+    granted = int(manager.stats.counter("granted").value)
+    rejected = int(
+        manager.stats.counter("rejected.quota").value
+        + manager.stats.counter("rejected.capacity").value
+    )
+    return SweepPoint(
+        shared_fraction=shared_fraction,
+        tenant_count=tenant_count,
+        granted=granted,
+        rejected=rejected,
+        rejection_rate=manager.rejection_rate(),
+    )
+
+
+def _crash_run(
+    tenant_count: int,
+    ops_per_tenant: int,
+    server_count: int,
+    server_dram_bytes: int,
+    shared_fraction: float,
+    seed: int,
+) -> ReclaimSummary:
+    manager = _manager(
+        "capacity-balanced", server_count, server_dram_bytes, shared_fraction, seed
+    )
+    engine = manager.engine
+    detector = FailureDetector(
+        manager.runtime.deployment, interval=us(0.5), miss_threshold=1
+    )
+    manager.attach_detector(detector)
+    driver = ClusterDriver(manager, mix=_mix())
+    specs = _specs(
+        tenant_count, server_count, quota_bytes=mib(8), priority=PriorityClass.STANDARD
+    )
+    procs = [driver.tenant_process(spec, ops_per_tenant) for spec in specs]
+    victim = server_count - 1
+    crash_at = us(1)
+
+    def _crash_body():
+        yield engine.timeout(crash_at)
+        manager.runtime.deployment.server(victim).crash()
+
+    engine.process(_crash_body(), name="chaos")
+    detector.monitor(us(50))
+    engine.run(engine.all_of(procs))
+    if victim not in detector.detections:
+        engine.run()  # drain the monitor: the dead server will be caught
+
+    detection = detector.detections[victim]
+    revoked = [t for _, t in sorted(manager.tenants.items()) if t.revoked]
+    return ReclaimSummary(
+        crashed_server=victim,
+        detection_us=(detection.detected_at - crash_at) / 1e3,
+        tenants_revoked=len(revoked),
+        leases_revoked=sum(r.leases_revoked for r in manager.reclaim_reports),
+        frames_reclaimed=sum(r.frames_reclaimed for r in manager.reclaim_reports),
+        revoked_bytes_outstanding=sum(t.used_bytes for t in revoked),
+        leases_leaked=len(manager.leases),
+    )
+
+
+def run(
+    policies: _t.Sequence[str] = tuple(CLUSTER_POLICIES),
+    tenant_count: int = 8,
+    ops_per_tenant: int = 30,
+    server_count: int = 4,
+    server_dram_mib: int = 16,
+    shared_fraction: float = 0.75,
+    sweep_tenant_counts: _t.Sequence[int] = (4, 8, 16),
+    sweep_shared_fractions: _t.Sequence[float] = (0.25, 0.75),
+    seed: int = 0,
+) -> ClusterResult:
+    """Compare schedulers, sweep oversubscription, crash a server."""
+    for policy in policies:
+        if policy not in CLUSTER_POLICIES:
+            known = ", ".join(sorted(CLUSTER_POLICIES))
+            raise ConfigError(f"unknown cluster policy {policy!r}; known: {known}")
+    if not policies:
+        raise ConfigError("need at least one placement policy")
+    dram = mib(server_dram_mib)
+
+    outcomes: list[PolicyOutcome] = []
+    first_report: DriverReport | None = None
+    for policy in policies:
+        outcome, report = _policy_run(
+            policy, tenant_count, ops_per_tenant, server_count, dram,
+            shared_fraction, seed,
+        )
+        outcomes.append(outcome)
+        if first_report is None:
+            first_report = report
+    assert first_report is not None
+
+    tenants = tuple(
+        TenantRow(
+            tenant_id=t.tenant_id,
+            priority=t.priority.name.lower(),
+            ops=t.ops,
+            granted=t.granted,
+            rejected=t.rejected,
+            throughput_ops_s=t.throughput_ops_per_s,
+            p99_us=t.p99_ns / 1e3,
+        )
+        for t in first_report.tenants
+    )
+
+    sweep = tuple(
+        _sweep_point(fraction, count, ops_per_tenant, server_count, seed)
+        for fraction in sweep_shared_fractions
+        for count in sweep_tenant_counts
+    )
+
+    reclaim = _crash_run(
+        tenant_count, ops_per_tenant, server_count, dram, shared_fraction, seed
+    )
+
+    return ClusterResult(
+        tenant_count=tenant_count,
+        ops_per_tenant=ops_per_tenant,
+        policies=tuple(outcomes),
+        tenants=tenants,
+        sweep=sweep,
+        reclaim=reclaim,
+    )

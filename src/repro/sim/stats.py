@@ -132,6 +132,27 @@ class Histogram:
         # delta form is exact when neighbors are equal (no float drift)
         return lo_val + (self._samples[hi] - lo_val) * frac
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold *other*'s samples into this histogram and return self.
+
+        Quantiles after a merge are exact — identical to recording every
+        sample into one histogram — because both collectors keep raw
+        samples.  *other* is left untouched, so per-tenant histograms can
+        be combined into rack-level percentiles and still be reported
+        individually.
+        """
+        if other is self:
+            raise ValueError("cannot merge a histogram into itself")
+        if other._samples:
+            if not self._samples:
+                self._sorted = other._sorted
+            elif not (
+                self._sorted and other._sorted and other._samples[0] >= self._samples[-1]
+            ):
+                self._sorted = False
+            self._samples.extend(other._samples)
+        return self
+
     def count_at_most(self, threshold: float) -> int:
         """Number of samples <= threshold."""
         self._ensure_sorted()

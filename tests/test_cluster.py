@@ -1,0 +1,439 @@
+"""Tests for the multi-tenant rack control plane (repro.cluster)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.admission import AdmissionController, Decision
+from repro.cluster.driver import ClusterDriver, WorkloadMix
+from repro.cluster.fairness import jain_index
+from repro.cluster.leases import LeaseTable
+from repro.cluster.manager import PoolManager
+from repro.cluster.placement import (
+    CLUSTER_POLICIES,
+    FirstFitPlacement,
+    FragmentationAwarePlacement,
+    make_policy,
+)
+from repro.cluster.tenants import PriorityClass, TenantSpec, TenantState
+from repro.core.failures.detector import FailureDetector
+from repro.core.runtime import LmpRuntime
+from repro.errors import (
+    AdmissionError,
+    ClusterError,
+    ConfigError,
+    LeaseError,
+    QuotaExceededError,
+    TenantRevokedError,
+)
+from repro.mem.layout import PageGeometry
+from repro.topology.builder import build_logical
+from repro.units import kib, mib, us
+
+EXTENT = kib(64)
+
+
+def small_manager(policy: str = "first-fit", server_count: int = 3, **kwargs) -> PoolManager:
+    deployment = build_logical(
+        "link0", server_count=server_count, server_dram_bytes=mib(2)
+    )
+    runtime = LmpRuntime(
+        deployment,
+        geometry=PageGeometry(page_bytes=kib(16), extent_bytes=EXTENT),
+        coherent_bytes=kib(64),
+        snoop_filter_lines=64,
+    )
+    return PoolManager(runtime, policy=policy, **kwargs)
+
+
+def spec(tid: str = "t0", home: int = 0, quota: int = mib(1), **kwargs) -> TenantSpec:
+    return TenantSpec(tenant_id=tid, home_server=home, quota_bytes=quota, **kwargs)
+
+
+# --- fairness ----------------------------------------------------------------
+
+
+def test_jain_even_split_is_one():
+    assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+
+def test_jain_monopoly_is_one_over_n():
+    assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+
+def test_jain_degenerate_populations():
+    assert jain_index([]) == 1.0
+    assert jain_index([0.0, 0.0]) == 1.0
+
+
+# --- tenants -----------------------------------------------------------------
+
+
+def test_tenant_spec_validation():
+    with pytest.raises(ConfigError):
+        TenantSpec(tenant_id="", home_server=0, quota_bytes=1)
+    with pytest.raises(ConfigError):
+        TenantSpec(tenant_id="x", home_server=0, quota_bytes=0)
+
+
+def test_quota_ledger_charges_and_refunds():
+    tenant = TenantState(spec(quota=100))
+    tenant.charge(60)
+    assert tenant.quota_remaining == 40
+    with pytest.raises(QuotaExceededError):
+        tenant.charge(41)
+    tenant.refund(60)
+    with pytest.raises(ClusterError):
+        tenant.refund(1)  # balance can never go negative
+
+
+def test_best_effort_does_not_queue():
+    assert not PriorityClass.BEST_EFFORT.may_queue
+    assert PriorityClass.STANDARD.may_queue
+    assert PriorityClass.GUARANTEED.may_queue
+
+
+# --- admission ---------------------------------------------------------------
+
+
+def test_admission_grants_within_quota_and_capacity():
+    verdict = AdmissionController().decide(
+        TenantState(spec(quota=mib(1))), kib(64), pool_free_bytes=mib(1), queue_depth=0
+    )
+    assert verdict.decision is Decision.GRANT
+
+
+def test_admission_rejects_over_quota():
+    tenant = TenantState(spec(quota=kib(64)))
+    tenant.charge(kib(64))
+    verdict = AdmissionController().decide(tenant, kib(64), mib(1), 0)
+    assert verdict.decision is Decision.REJECT_QUOTA
+    assert verdict.decision.is_rejection
+
+
+def test_admission_queues_standard_but_rejects_best_effort():
+    standard = TenantState(spec(quota=mib(1)))
+    best_effort = TenantState(spec(quota=mib(1), priority=PriorityClass.BEST_EFFORT))
+    assert (
+        AdmissionController().decide(standard, kib(64), 0, 0).decision is Decision.QUEUE
+    )
+    assert (
+        AdmissionController().decide(best_effort, kib(64), 0, 0).decision
+        is Decision.REJECT_CAPACITY
+    )
+
+
+def test_admission_rejects_when_queue_full():
+    tenant = TenantState(spec(quota=mib(1)))
+    controller = AdmissionController(max_queue_depth=2)
+    assert tenant.spec.priority.may_queue
+    verdict = controller.decide(tenant, kib(64), 0, queue_depth=2)
+    assert verdict.decision is Decision.REJECT_CAPACITY
+
+
+def test_admission_rejects_revoked_tenants():
+    tenant = TenantState(spec())
+    tenant.revoked = True
+    verdict = AdmissionController().decide(tenant, kib(64), mib(1), 0)
+    assert verdict.decision is Decision.REJECT_REVOKED
+
+
+# --- placement ---------------------------------------------------------------
+
+
+def test_first_fit_fills_lowest_server_first():
+    placement = FirstFitPlacement().place(
+        3, EXTENT, {0: 2 * EXTENT, 1: 4 * EXTENT, 2: 4 * EXTENT}, requester_id=2
+    )
+    assert placement == [0, 0, 1]
+
+
+def test_fragmentation_aware_prefers_tightest_single_server():
+    placement = FragmentationAwarePlacement().place(
+        2, EXTENT, {0: 8 * EXTENT, 1: 2 * EXTENT, 2: 5 * EXTENT}, requester_id=0
+    )
+    assert placement == [1, 1]  # smallest server that still fits the grant whole
+
+
+def test_fragmentation_aware_spills_tightest_first():
+    placement = FragmentationAwarePlacement().place(
+        4, EXTENT, {0: 3 * EXTENT, 1: 2 * EXTENT}, requester_id=0
+    )
+    assert placement == [1, 1, 0, 0]  # exhaust the fuller server first
+
+
+def test_make_policy_resolves_all_registered_names():
+    assert len(CLUSTER_POLICIES) >= 4
+    for name in sorted(CLUSTER_POLICIES):
+        assert make_policy(name).name  # constructs and carries a name
+    with pytest.raises(ConfigError):
+        make_policy("round-robin-nope")
+
+
+# --- leases ------------------------------------------------------------------
+
+
+def test_lease_table_grant_release_cycle():
+    table = LeaseTable()
+    lease = table.grant("a", buffer=object(), footprint_bytes=EXTENT, now=0.0)
+    assert table.lookup(lease.lease_id) is lease
+    assert table.live_bytes() == EXTENT
+    table.release(lease)
+    assert len(table) == 0
+    with pytest.raises(LeaseError):
+        table.release(lease)  # double release
+
+
+def test_lease_ttl_expiry_and_renew():
+    table = LeaseTable()
+    lease = table.grant("a", object(), EXTENT, now=0.0, ttl=10.0)
+    assert not lease.expired(9.0)
+    assert [lease_.lease_id for lease_ in table.expired(11.0)] == [lease.lease_id]
+    table.renew(lease, now=11.0, ttl=10.0)
+    assert table.expired(11.0) == []
+    table.release(lease)
+    with pytest.raises(LeaseError):
+        table.renew(lease, now=12.0, ttl=10.0)
+
+
+# --- manager: grants, quotas, queueing ---------------------------------------
+
+
+def test_manager_acquire_grants_a_lease():
+    manager = small_manager()
+    manager.register_tenant(spec("t0", quota=mib(1)))
+    lease = manager.engine.run(manager.acquire("t0", kib(100), name="b"))
+    assert lease.tenant_id == "t0"
+    assert lease.footprint_bytes == 2 * EXTENT  # rounded up to extents
+    assert manager.tenant("t0").used_bytes == 2 * EXTENT
+    assert len(manager.leases) == 1
+    manager.release(lease)
+    assert manager.tenant("t0").used_bytes == 0
+    assert len(manager.leases) == 0
+
+
+def test_manager_rejects_duplicate_and_unknown_tenants():
+    manager = small_manager()
+    manager.register_tenant(spec("t0"))
+    with pytest.raises(ConfigError):
+        manager.register_tenant(spec("t0"))
+    with pytest.raises(ConfigError):
+        manager.tenant("nobody")
+    with pytest.raises(ConfigError):
+        manager.register_tenant(spec("t9", home=99))
+
+
+def test_manager_enforces_quota_on_acquire():
+    manager = small_manager()
+    manager.register_tenant(spec("t0", quota=EXTENT))
+    with pytest.raises(QuotaExceededError):
+        manager.engine.run(manager.acquire("t0", 2 * EXTENT))
+    assert manager.tenant("t0").rejected_quota == 1
+    assert manager.rejection_rate() == 1.0
+
+
+def test_direct_session_alloc_is_metered_too():
+    """The observer meters session.alloc even without the admission queue."""
+    manager = small_manager()
+    manager.register_tenant(spec("t0", quota=2 * EXTENT))
+    session = manager.open_session("t0")
+    buffer = session.alloc(EXTENT)
+    assert manager.tenant("t0").used_bytes == EXTENT
+    assert len(manager.leases) == 1  # leased automatically
+    with pytest.raises(QuotaExceededError):
+        session.alloc(4 * EXTENT)  # would blow the quota
+    session.free(buffer)
+    assert manager.tenant("t0").used_bytes == 0
+    assert len(manager.leases) == 0
+
+
+def test_best_effort_capacity_rejection():
+    manager = small_manager()
+    manager.register_tenant(
+        spec("spot", quota=mib(64), priority=PriorityClass.BEST_EFFORT)
+    )
+    free = manager.pool_free_bytes() // EXTENT * EXTENT
+    lease = manager.engine.run(manager.acquire("spot", free))
+    with pytest.raises(AdmissionError):
+        manager.engine.run(manager.acquire("spot", EXTENT))
+    assert manager.tenant("spot").rejected_capacity == 1
+    assert 0.0 < manager.rejection_rate() < 1.0
+    manager.release(lease)
+
+
+def test_standard_tenant_queues_until_capacity_frees():
+    manager = small_manager()
+    manager.register_tenant(spec("big", quota=mib(64)))
+    manager.register_tenant(spec("waiter", quota=mib(64)))
+    free = manager.pool_free_bytes() // EXTENT * EXTENT
+    big = manager.engine.run(manager.acquire("big", free))
+    waiting = manager.acquire("waiter", EXTENT)
+    manager.engine.run(manager.engine.timeout(us(1)))
+    assert manager.queue_depth == 1  # parked, not rejected
+    manager.release(big)  # freeing services the queue
+    lease = manager.engine.run(waiting)
+    assert lease.tenant_id == "waiter"
+    assert manager.queue_depth == 0
+    manager.release(lease)
+
+
+def test_guaranteed_class_served_before_standard():
+    manager = small_manager()
+    manager.register_tenant(spec("big", quota=mib(64)))
+    manager.register_tenant(spec("std", quota=mib(64)))
+    manager.register_tenant(
+        spec("gold", quota=mib(64), priority=PriorityClass.GUARANTEED)
+    )
+    free = manager.pool_free_bytes() // EXTENT * EXTENT
+    big = manager.engine.run(manager.acquire("big", free))
+    std_proc = manager.acquire("std", EXTENT)
+    gold_proc = manager.acquire("gold", EXTENT)  # arrives later, higher class
+    manager.engine.run(manager.engine.timeout(us(1)))
+    assert manager.queue_depth == 2
+    manager.release(big)
+    gold = manager.engine.run(gold_proc)
+    std = manager.engine.run(std_proc)
+    assert gold.lease_id < std.lease_id  # guaranteed was granted first
+    manager.release(gold)
+    manager.release(std)
+
+
+# --- revocation and crash reclamation ----------------------------------------
+
+
+def test_revoke_tenant_reclaims_every_frame(alloc_sanitizer):
+    manager = small_manager()
+    manager.register_tenant(spec("victim", quota=mib(1)))
+    manager.register_tenant(spec("other", home=1, quota=mib(1)))
+    for _ in range(3):
+        manager.engine.run(manager.acquire("victim", EXTENT))
+    survivor = manager.engine.run(manager.acquire("other", EXTENT))
+
+    report = manager.revoke_tenant("victim", reason="test")
+    assert report.leases_revoked == 3
+    assert report.frames_reclaimed == 3 * EXTENT // kib(16)
+    victim = manager.tenant("victim")
+    assert victim.used_bytes == 0 and victim.leases == {}
+    with pytest.raises(TenantRevokedError):
+        manager.engine.run(manager.acquire("victim", EXTENT))
+
+    # the survivor is untouched; after it releases, the sanitizer's
+    # shadow state proves zero leaked frames on every region
+    assert manager.tenant("other").used_bytes == EXTENT
+    manager.release(survivor)
+    for sid in sorted(manager.pool.regions):
+        alloc_sanitizer.assert_no_leaks(manager.pool.regions[sid])
+
+
+def test_revocation_fails_queued_requests():
+    manager = small_manager()
+    manager.register_tenant(spec("big", quota=mib(64)))
+    manager.register_tenant(spec("doomed", quota=mib(64)))
+    free = manager.pool_free_bytes() // EXTENT * EXTENT
+    big = manager.engine.run(manager.acquire("big", free))
+    doomed_proc = manager.acquire("doomed", EXTENT)
+    manager.engine.run(manager.engine.timeout(us(1)))
+    report = manager.revoke_tenant("doomed", reason="bye")
+    assert report.queued_requests_failed == 1
+    with pytest.raises(TenantRevokedError):
+        manager.engine.run(doomed_proc)
+    manager.release(big)
+
+
+def test_detector_crash_revokes_homed_tenants(alloc_sanitizer):
+    manager = small_manager(policy="locality-first")
+    engine = manager.engine
+    detector = FailureDetector(
+        manager.runtime.deployment, interval=us(1), miss_threshold=1
+    )
+    manager.attach_detector(detector)
+    manager.register_tenant(spec("on2", home=2, quota=mib(1)))
+    manager.register_tenant(spec("on0", home=0, quota=mib(1)))
+    engine.run(manager.acquire("on2", 2 * EXTENT))
+    keeper = engine.run(manager.acquire("on0", EXTENT))
+
+    manager.runtime.deployment.server(2).crash()
+    engine.run(detector.monitor(us(10)))
+
+    assert manager.tenant("on2").revoked
+    assert manager.tenant("on2").used_bytes == 0
+    assert not manager.tenant("on0").revoked
+    assert [r.tenant_id for r in manager.reclaim_reports] == ["on2"]
+    assert manager.reclaim_reports[0].frames_reclaimed == 2 * EXTENT // kib(16)
+    manager.release(keeper)
+    for sid in sorted(manager.pool.regions):
+        alloc_sanitizer.assert_no_leaks(manager.pool.regions[sid])
+
+
+def test_lease_sweeper_reclaims_unrenewed_leases():
+    manager = small_manager(default_ttl=us(10))
+    manager.register_tenant(spec("zombie", quota=mib(1)))
+    manager.engine.run(manager.acquire("zombie", EXTENT))
+    assert len(manager.leases) == 1
+    expired = manager.engine.run(manager.lease_sweeper(duration=us(50), period=us(10)))
+    assert expired == 1
+    assert len(manager.leases) == 0
+    assert manager.tenant("zombie").used_bytes == 0
+
+
+# --- the workload driver -----------------------------------------------------
+
+
+def test_driver_run_is_fair_and_leak_free(alloc_sanitizer):
+    manager = small_manager(policy="capacity-balanced")
+    driver = ClusterDriver(
+        manager, mix=WorkloadMix(alloc_bytes=2 * EXTENT, access_bytes=kib(4))
+    )
+    specs = [spec(f"t{i}", home=i % 3, quota=mib(1)) for i in range(3)]
+    report = driver.run(specs, ops_per_tenant=12)
+    assert report.total_ops == 36
+    assert report.fairness >= 0.8  # equal-priority tenants share evenly
+    assert report.leases_leaked == 0
+    assert report.rejection_rate == 0.0
+    assert len(report.merged_latency()) == sum(len(t.latency) for t in report.tenants)
+    assert report.p99_ns > 0.0
+    for sid in sorted(manager.pool.regions):
+        alloc_sanitizer.assert_no_leaks(manager.pool.regions[sid])
+
+
+def test_driver_mix_validation():
+    with pytest.raises(ConfigError):
+        WorkloadMix(alloc_fraction=0.6, free_fraction=0.5)
+    with pytest.raises(ConfigError):
+        WorkloadMix(sessions_per_tenant=0)
+
+
+# --- the experiment ----------------------------------------------------------
+
+
+def test_cluster_experiment_reduced():
+    from repro.experiments import cluster
+
+    result = cluster.run(
+        policies=("first-fit", "locality-first", "fragmentation-aware"),
+        tenant_count=4,
+        ops_per_tenant=10,
+        sweep_tenant_counts=(16,),
+        sweep_shared_fractions=(0.5,),
+    )
+    assert len(result.policies) == 3
+    for outcome in result.policies:
+        assert outcome.total_ops == 40
+        assert outcome.fairness >= 0.8
+    # oversubscription: a 16-tenant herd on a tiny rack must see rejections
+    assert any(point.rejected > 0 for point in result.sweep)
+    # crash reclamation is total
+    assert result.reclaim.revoked_bytes_outstanding == 0
+    assert result.reclaim.leases_leaked == 0
+    assert result.reclaim.frames_reclaimed > 0
+    rendered = result.render()
+    assert "placement schedulers" in rendered
+    assert "fragmentation-aware" in rendered
+    assert "oversubscription" in rendered
+
+
+def test_cluster_experiment_rejects_unknown_policy():
+    from repro.experiments import cluster
+
+    with pytest.raises(ConfigError):
+        cluster.run(policies=("warp-drive",))

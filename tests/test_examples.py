@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs in-process, end to end.
+
+Each ``examples/*.py`` is loaded as a module, its size constants are
+shrunk so the functional simulation finishes in seconds, and ``main()``
+runs under the suite's sanitizers.  This keeps the documentation
+executable: an API change that breaks a walkthrough fails CI here, not
+in a user's terminal.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+from repro.units import gib, mib
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: example file -> module-constant overrides (reduced working sets)
+EXAMPLES: dict[str, dict[str, object]] = {
+    "cluster_operations.py": {},
+    "fault_tolerant_cache.py": {"OBJECT_BYTES": mib(1)},
+    "flexible_ratio.py": {"WORKING_SET": gib(80)},
+    "locality_balancing.py": {"TABLE": gib(1)},
+    "near_memory_analytics.py": {"LEDGER": gib(4)},
+    "quickstart.py": {"VECTOR": gib(1)},
+    "software_vs_hardware.py": {},
+}
+
+
+def load_example(filename: str):
+    path = EXAMPLES_DIR / filename
+    name = f"example_{path.stem}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(name, None)
+    return module
+
+
+def test_every_example_is_covered():
+    """A new example must be added to the smoke list."""
+    on_disk = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert on_disk == sorted(EXAMPLES)
+
+
+@pytest.mark.parametrize("filename", sorted(EXAMPLES))
+def test_example_runs(filename: str, capsys):
+    module = load_example(filename)
+    for attr, value in EXAMPLES[filename].items():
+        assert hasattr(module, attr), f"{filename} no longer defines {attr}"
+        setattr(module, attr, value)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip()  # every walkthrough narrates what it did

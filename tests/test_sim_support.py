@@ -110,6 +110,77 @@ def test_histogram_quantiles_monotone(values):
     assert quantiles[-1] == max(values)
 
 
+def test_histogram_merge_quantiles_exact():
+    """Merging must give quantiles identical to one combined histogram."""
+    a, b, combined = Histogram(), Histogram(), Histogram()
+    for v in (5.0, 1.0, 3.0):
+        a.record(v)
+        combined.record(v)
+    for v in (4.0, 2.0, 6.0):
+        b.record(v)
+        combined.record(v)
+    a.merge(b)
+    assert len(a) == 6
+    for q in (0.0, 0.25, 0.5, 0.75, 0.99, 1.0):
+        assert a.quantile(q) == combined.quantile(q)
+
+
+def test_histogram_merge_returns_self_and_keeps_other():
+    a, b = Histogram(), Histogram()
+    a.record(1.0)
+    b.record(2.0)
+    assert a.merge(b) is a
+    assert len(b) == 1  # the source histogram is untouched
+    assert b.quantile(0.5) == 2.0
+
+
+def test_histogram_merge_empty_cases():
+    a, b = Histogram(), Histogram()
+    b.record(3.0)
+    assert len(a.merge(b)) == 1  # empty <- full
+    assert a.quantile(0.5) == 3.0
+    assert len(a.merge(Histogram())) == 1  # full <- empty
+    assert a.quantile(1.0) == 3.0
+
+
+def test_histogram_merge_self_rejected():
+    hist = Histogram()
+    hist.record(1.0)
+    with pytest.raises(ValueError):
+        hist.merge(hist)
+
+
+def test_histogram_merge_preserves_sortedness_fast_path():
+    """Sorted + appended-after-tail stays sorted without a re-sort."""
+    a, b = Histogram(), Histogram()
+    for v in (1.0, 2.0):
+        a.record(v)
+    for v in (2.0, 5.0):
+        b.record(v)
+    a.merge(b)
+    assert a._sorted  # tail-append fast path
+    assert a.quantile(1.0) == 5.0
+
+
+@given(
+    st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=80),
+    st.lists(st.floats(-1e6, 1e6), min_size=0, max_size=80),
+)
+def test_histogram_merge_matches_single_collector(xs, ys):
+    merged, single = Histogram(), Histogram()
+    other = Histogram()
+    for v in xs:
+        merged.record(v)
+        single.record(v)
+    for v in ys:
+        other.record(v)
+        single.record(v)
+    merged.merge(other)
+    assert len(merged) == len(single)
+    for q in (0.0, 0.1, 0.5, 0.9, 1.0):
+        assert merged.quantile(q) == single.quantile(q)
+
+
 # --- stat set ----------------------------------------------------------------
 
 
