@@ -4,6 +4,16 @@ Measures the workload driver's wall-clock cost at 1, 8, and 32 tenants
 (the control plane is pure Python, so this is the practical scaling
 limit check), and records the full experiment's tables for
 EXPERIMENTS.md.
+
+Also runnable directly (no pytest-benchmark needed) as the CI smoke
+job::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py --smoke
+
+which verifies the race-detector seams are genuinely uninstalled (every
+hook slot is ``None``) and prints bare-engine and driver wall-clock
+numbers, so a regression that makes the instrumentation non-zero-cost
+shows up as a step change in the logged throughput.
 """
 
 from __future__ import annotations
@@ -58,3 +68,75 @@ def test_c1_experiment(run_once, record_result):
     assert any(s.rejected > 0 for s in result.sweep)
     assert result.reclaim.leases_leaked == 0
     assert result.reclaim.revoked_bytes_outstanding == 0
+
+
+# --- standalone smoke mode (CI: zero-cost instrumentation guard) ----------------
+
+
+def _bare_engine(events: int) -> None:
+    """Pure event-loop churn: the hottest path the monitor seams touch."""
+    from repro.sim.engine import Engine
+
+    engine = Engine(seed=3)
+
+    def ticker():
+        for _ in range(events):
+            yield engine.timeout(1.0)
+
+    engine.process(ticker(), name="ticker")
+    engine.run()
+
+
+def _assert_detectors_uninstalled() -> None:
+    from repro.core.api import LmpSession
+    from repro.core.coherence.protocol import CoherenceDirectory
+    from repro.sim.engine import Engine
+    from repro.sim.process import Process
+
+    slots = {
+        "Process._monitor": Process._monitor,
+        "Engine._monitor": Engine._monitor,
+        "LmpSession._access_monitor": LmpSession._access_monitor,
+        "CoherenceDirectory._race_hook": CoherenceDirectory._race_hook,
+    }
+    stale = [name for name, value in slots.items() if value is not None]
+    if stale:
+        raise SystemExit(f"detector seams unexpectedly installed: {', '.join(stale)}")
+
+
+def smoke(events: int = 100_000, tenants: int = 8) -> None:
+    import time
+
+    _assert_detectors_uninstalled()
+    started = time.perf_counter()
+    _bare_engine(events)
+    bare = time.perf_counter() - started
+    started = time.perf_counter()
+    report = _drive(tenants)
+    drive = time.perf_counter() - started
+    print(
+        f"bare engine: {events} events in {bare:.3f}s "
+        f"({events / bare / 1e3:.0f}k events/s)"
+    )
+    print(
+        f"driver ({tenants} tenants x 30 ops): {drive:.3f}s, "
+        f"{report.total_ops} ops, fairness {report.fairness:.2f}"
+    )
+    print("detector seams: all None (zero-cost path) — OK")
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the fast no-pytest smoke: seam check + wall-clock numbers",
+    )
+    parser.add_argument("--events", type=int, default=100_000)
+    parser.add_argument("--tenants", type=int, default=8)
+    cli_args = parser.parse_args()
+    if not cli_args.smoke:
+        parser.error("pass --smoke (benchmark mode runs under pytest-benchmark)")
+    smoke(events=cli_args.events, tenants=cli_args.tenants)

@@ -8,16 +8,27 @@ lean on:
   statically,
 * the runtime sanitizers (:mod:`repro.check.sanitizers`) enforce
   allocator and coherence invariants while scenarios run,
+* the race/lockset/deadlock detectors (:mod:`repro.check.races`)
+  shadow shared-region accesses with vector clocks and watch the
+  event heap for wait-for cycles,
 * the determinism harness (:mod:`repro.check.determinism`) reruns
   scenarios and diffs their event streams byte for byte.
 
-Entry point: ``python -m repro check [--fix] [--determinism ...] [path...]``.
+Entry point: ``python -m repro check [--fix] [--determinism ...]
+[--races ...] [--format text|json|github] [path...]``.
 """
 
 from repro.check.determinism import SCENARIOS, DeterminismHarness, DeterminismReport
 from repro.check.lint import FileReport, apply_fixes, fix_file, lint_file, lint_paths, lint_source
+from repro.check.races import FrameAccess, LocksetReport, RaceReport, RaceSanitizer
 from repro.check.rules import ALL_RULES, LintContext, Rule, Violation
-from repro.check.runner import run_check
+from repro.check.runner import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_INTERNAL,
+    EXIT_USAGE,
+    run_check,
+)
 from repro.check.sanitizers import AllocSanitizer, CoherenceSanitizer
 
 __all__ = [
@@ -26,8 +37,16 @@ __all__ = [
     "CoherenceSanitizer",
     "DeterminismHarness",
     "DeterminismReport",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_INTERNAL",
+    "EXIT_USAGE",
     "FileReport",
+    "FrameAccess",
     "LintContext",
+    "LocksetReport",
+    "RaceReport",
+    "RaceSanitizer",
     "Rule",
     "SCENARIOS",
     "Violation",

@@ -10,9 +10,27 @@ from __future__ import annotations
 import ast
 import dataclasses
 import pathlib
+import re
 import typing as _t
 
 from repro.check.rules import ALL_RULES, LintContext, Rule, Violation
+
+_NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+
+def _suppressed_rules(source: str) -> dict[int, set[str] | None]:
+    """Per-line ``# noqa`` suppressions: line -> rule ids (None = all)."""
+    out: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            out[lineno] = None  # bare "# noqa": every rule
+        else:
+            out[lineno] = {c.strip().upper() for c in codes.split(",") if c.strip()}
+    return out
 
 
 @dataclasses.dataclass(frozen=True)
@@ -54,6 +72,16 @@ def lint_source(
     for rule in rules:
         if rule.applies(ctx):
             violations.extend(rule.check(tree, ctx))
+    suppressed = _suppressed_rules(source)
+    if suppressed:
+        violations = [
+            v
+            for v in violations
+            if not (
+                v.line in suppressed
+                and (suppressed[v.line] is None or v.rule_id in suppressed[v.line])
+            )
+        ]
     violations.sort(key=lambda v: (v.line, v.col, v.rule_id))
     return FileReport(path=path, violations=tuple(violations))
 

@@ -204,13 +204,20 @@ def _is_set_expr(node: ast.AST) -> bool:
     return False
 
 
-def _collect_set_names(scope: ast.AST) -> set[str]:
-    """Names assigned a set expression by simple assignment in *scope*.
+def _is_dict_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "dict"
+    return False
 
-    A name loses set-ness if any assignment binds it to something else
-    (conservative: we only track names that are *always* sets here).
-    """
-    is_set: dict[str, bool] = {}
+
+def _collect_typed_names(
+    scope: ast.AST, predicate: _t.Callable[[ast.AST], bool]
+) -> set[str]:
+    """Names always bound by simple assignment to values matching
+    *predicate* in *scope* (conservative: one other binding disqualifies)."""
+    matches: dict[str, bool] = {}
     for node in ast.walk(scope):
         targets: list[ast.expr] = []
         value: ast.expr | None = None
@@ -222,20 +229,38 @@ def _collect_set_names(scope: ast.AST) -> set[str]:
             continue
         for target in targets:
             if isinstance(target, ast.Name):
-                setness = _is_set_expr(value)
-                is_set[target.id] = is_set.get(target.id, setness) and setness
-    return {name for name, flag in is_set.items() if flag}
+                hit = predicate(value)
+                matches[target.id] = matches.get(target.id, hit) and hit
+    return {name for name, flag in matches.items() if flag}
+
+
+def _collect_set_names(scope: ast.AST) -> set[str]:
+    """Names assigned a set expression by simple assignment in *scope*.
+
+    A name loses set-ness if any assignment binds it to something else
+    (conservative: we only track names that are *always* sets here).
+    """
+    return _collect_typed_names(scope, _is_set_expr)
+
+
+def _collect_dict_names(scope: ast.AST) -> set[str]:
+    """Names always assigned dict expressions in *scope*."""
+    return _collect_typed_names(scope, _is_dict_expr)
 
 
 class SetIterationRule(Rule):
-    """LMP003 — ``for`` over a bare set in dispatch or coherence paths.
+    """LMP003 — ``for`` over a bare set or dict view in dispatch paths.
 
     Set iteration order depends on element hashes, and for strings that
-    order changes per process (``PYTHONHASHSEED``).  When the loop body
-    touches simulation state — sends invalidations, pops events — runs
-    stop being reproducible.  Iterate ``sorted(the_set)`` (or keep an
-    insertion-ordered ``dict``/``list``) instead.  Autofix wraps the
-    iterable in ``sorted(...)``.
+    order changes per process (``PYTHONHASHSEED``).  Dict views iterate
+    in insertion order, which is deterministic only if the *insertion
+    sequence* was — a dict populated from set iteration, ``**kwargs`` or
+    hash-ordered sources silently inherits the nondeterminism.  When the
+    loop body touches simulation state — sends invalidations, pops
+    events — runs stop being reproducible.  Iterate ``sorted(...)`` (or
+    keep an explicitly ordered ``list``) instead.  Autofix wraps the
+    iterable — bare set, bare locally-built dict, ``.keys()`` or
+    ``.values()`` view — in ``sorted(...)``.
     """
 
     id = "LMP003"
@@ -248,6 +273,22 @@ class SetIterationRule(Rule):
             return None
         return (node.lineno, node.col_offset, node.end_lineno, node.end_col_offset)
 
+    def _dict_view(self, it: ast.expr, dict_names: set[str]) -> str | None:
+        """Describe *it* if it iterates a tracked dict's view, else None."""
+        if isinstance(it, ast.Name) and it.id in dict_names:
+            return f"dict {it.id!r}"
+        if (
+            isinstance(it, ast.Call)
+            and not it.args
+            and not it.keywords
+            and isinstance(it.func, ast.Attribute)
+            and it.func.attr in ("keys", "values")
+            and isinstance(it.func.value, ast.Name)
+            and it.func.value.id in dict_names
+        ):
+            return f"{it.func.value.id}.{it.func.attr}()"
+        return None
+
     def check(self, tree: ast.AST, ctx: LintContext) -> list[Violation]:
         out: list[Violation] = []
         scopes: list[ast.AST] = [tree]
@@ -259,6 +300,7 @@ class SetIterationRule(Rule):
         seen: set[tuple[int, int]] = set()
         for scope in scopes:
             set_names = _collect_set_names(scope)
+            dict_names = _collect_dict_names(scope)
             for node in ast.walk(scope):
                 if not isinstance(node, (ast.For, ast.AsyncFor)):
                     continue
@@ -266,10 +308,9 @@ class SetIterationRule(Rule):
                 key = (it.lineno, it.col_offset)
                 if key in seen:
                     continue
-                flagged = _is_set_expr(it) or (
+                if _is_set_expr(it) or (
                     isinstance(it, ast.Name) and it.id in set_names
-                )
-                if flagged:
+                ):
                     seen.add(key)
                     out.append(
                         self.violation(
@@ -277,6 +318,20 @@ class SetIterationRule(Rule):
                             node,
                             "for-loop over a set has hash-dependent order; "
                             "iterate sorted(...) or an ordered structure",
+                            fix_span=self._span(it),
+                        )
+                    )
+                    continue
+                view = self._dict_view(it, dict_names)
+                if view is not None:
+                    seen.add(key)
+                    out.append(
+                        self.violation(
+                            ctx,
+                            node,
+                            f"for-loop over {view} iterates in insertion "
+                            "order, which is only as deterministic as the "
+                            "insertion sequence; iterate sorted(...)",
                             fix_span=self._span(it),
                         )
                     )
@@ -441,6 +496,154 @@ class SetPopRule(Rule):
         return out
 
 
+#: call attributes that enter a synchronization scope (locks, semaphores,
+#: barriers, leases — a lease *is* exclusive ownership of its buffer)
+_SYNC_ENTRY_ATTRS = frozenset({"acquire", "wait"})
+_WRITE_ATTRS = frozenset({"write", "write_v"})
+
+
+def _pos(node: ast.AST) -> tuple[int, int]:
+    return (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+
+
+def _scopes(tree: ast.AST) -> list[ast.AST]:
+    scopes: list[ast.AST] = [tree]
+    scopes.extend(
+        n
+        for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return scopes
+
+
+def _direct_walk(scope: ast.AST) -> _t.Iterator[ast.AST]:
+    """Walk *scope* without descending into nested function definitions."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class SharedWriteOutsideSyncRule(Rule):
+    """LMP007 — shared-region write with no sync scope in tenant code.
+
+    ``cluster`` and ``workloads`` code runs many concurrent processes
+    against one pool; a ``.write()`` / ``.write_v()`` in a function that
+    never enters a synchronization scope (no ``.acquire()`` or
+    ``.wait()`` on a lock, semaphore, barrier, or lease manager before
+    it) is exactly the shape the runtime race detector flags
+    dynamically — this rule catches it statically, before the
+    interleaving ever runs.  If the write is protected by construction
+    (single writer, disjoint offsets reserved synchronously), suppress
+    with ``# noqa: LMP007`` and say why in a comment.
+    """
+
+    id = "LMP007"
+    title = "shared write outside a sync scope"
+    subsystems = frozenset({"cluster", "workloads"})
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> list[Violation]:
+        out: list[Violation] = []
+        for scope in _scopes(tree):
+            writes: list[ast.Call] = []
+            sync_entries: list[tuple[int, int]] = []
+            for node in _direct_walk(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr in _SYNC_ENTRY_ATTRS:
+                    sync_entries.append(_pos(node))
+                elif func.attr in _WRITE_ATTRS:
+                    writes.append(node)
+            for call in writes:
+                assert isinstance(call.func, ast.Attribute)
+                if any(entry <= _pos(call) for entry in sync_entries):
+                    continue  # a sync scope was entered before this write
+                out.append(
+                    self.violation(
+                        ctx,
+                        call,
+                        f".{call.func.attr}() on shared memory with no "
+                        "preceding sync-scope entry (.acquire()/.wait()) in "
+                        "this function; guard it or # noqa: LMP007 with a "
+                        "reason",
+                    )
+                )
+        return out
+
+
+class HoldAcrossYieldRule(Rule):
+    """LMP008 — ``yield`` while holding a resource in a ``try`` without
+    ``finally``.
+
+    A yielded event can deliver an exception (``interrupt()``, a failed
+    transfer, a crashed server).  If the resource's ``.release()`` sits
+    in the ``try`` body rather than a ``finally``, the exception path
+    skips it: the semaphore slot or lock line leaks, every later waiter
+    blocks forever, and the deadlock detector fires far from the cause.
+    Move the release into a ``finally`` (the coherence directory's
+    per-line lock pattern), or ``# noqa: LMP008`` with the reason the
+    exception arm provably releases.
+    """
+
+    id = "LMP008"
+    title = "yield while holding an unreleased resource"
+    subsystems = frozenset({"sim", "core", "fabric", "cluster", "workloads"})
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> list[Violation]:
+        out: list[Violation] = []
+        for scope in _scopes(tree):
+            if isinstance(scope, ast.Module):
+                continue
+            acquires_in_scope = [
+                _pos(n)
+                for n in _direct_walk(scope)
+                if isinstance(n, ast.Call)
+                and isinstance(n.func, ast.Attribute)
+                and n.func.attr == "acquire"
+            ]
+            for node in _direct_walk(scope):
+                if not isinstance(node, ast.Try) or node.finalbody:
+                    continue
+                body_nodes = [
+                    n for stmt in node.body for n in ast.walk(stmt)
+                ]
+                releases = [
+                    _pos(n)
+                    for n in body_nodes
+                    if isinstance(n, ast.Call)
+                    and isinstance(n.func, ast.Attribute)
+                    and n.func.attr == "release"
+                ]
+                if not releases:
+                    continue
+                yields = [
+                    _pos(n) for n in body_nodes if isinstance(n, (ast.Yield, ast.YieldFrom))
+                ]
+                held_from = [p for p in acquires_in_scope if p < max(releases)]
+                risky = [
+                    y
+                    for y in yields
+                    if y < max(releases) and (not held_from or y > min(held_from))
+                ]
+                if risky:
+                    out.append(
+                        self.violation(
+                            ctx,
+                            node,
+                            "yield inside try while a resource is held and "
+                            "released in the try body, not a finally: an "
+                            "exception at the yield leaks the resource",
+                        )
+                    )
+        return out
+
+
 #: every rule, in id order — the linter's registry
 ALL_RULES: tuple[Rule, ...] = (
     WallClockRule(),
@@ -449,4 +652,6 @@ ALL_RULES: tuple[Rule, ...] = (
     FloatTimeEqualityRule(),
     MutableDefaultRule(),
     SetPopRule(),
+    SharedWriteOutsideSyncRule(),
+    HoldAcrossYieldRule(),
 )

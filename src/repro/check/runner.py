@@ -1,19 +1,39 @@
-"""Orchestrates ``python -m repro check [--fix] [--determinism ...] [path...]``.
+"""Orchestrates ``python -m repro check``.
 
-Exit codes: 0 clean, 1 findings (lint violations or divergent
-scenarios), 2 usage errors.
+Subcommands of the reproducibility gate: lint (``LMP`` rules, optional
+``--fix``), seed determinism (``--determinism``), and the dynamic race
+/ lockset / deadlock detectors (``--races``, which replays the
+determinism scenarios under :class:`~repro.check.races.RaceSanitizer`).
+
+Exit codes (stable, asserted by tests and documented in ``--help``):
+
+* ``0`` — clean: no findings of any kind
+* ``1`` — findings: lint violations, parse errors, nondeterministic
+  scenarios, races, lockset violations, or deadlocks
+* ``2`` — usage error: unknown path, scenario, rule, or format
+* ``3`` — internal error: a scenario or the checker itself crashed
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 import sys
+import traceback
 import typing as _t
 
-from repro.check.determinism import SCENARIOS, DeterminismHarness
-from repro.check.lint import fix_file, iter_python_files, lint_paths
-from repro.check.rules import ALL_RULES
-from repro.errors import DeterminismError
+from repro.check.determinism import SCENARIOS, DeterminismHarness, DeterminismReport
+from repro.check.lint import FileReport, fix_file, iter_python_files, lint_paths
+from repro.check.races import RaceSanitizer
+from repro.check.rules import ALL_RULES, Rule
+from repro.errors import DeadlockError, DeterminismError
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+EXIT_INTERNAL = 3
+
+FORMATS = ("text", "json", "github")
 
 
 def default_paths() -> list[pathlib.Path]:
@@ -21,59 +41,278 @@ def default_paths() -> list[pathlib.Path]:
     return [pathlib.Path(__file__).resolve().parent.parent]
 
 
+def select_rules(select: _t.Sequence[str] | None) -> tuple[Rule, ...] | None:
+    """Resolve ``--select`` ids to rules; None on an unknown id."""
+    if select is None:
+        return ALL_RULES
+    wanted = {s.strip().upper() for item in select for s in item.split(",") if s.strip()}
+    known = {rule.id: rule for rule in ALL_RULES}
+    unknown = sorted(wanted - set(known))
+    if unknown:
+        print(
+            f"repro check: unknown rule id(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})",
+            file=sys.stderr,
+        )
+        return None
+    return tuple(known[rule_id] for rule_id in sorted(wanted))
+
+
+def _scenario_names(requested: _t.Sequence[str]) -> list[str] | None:
+    names = list(requested) or sorted(SCENARIOS)
+    if "all" in names:
+        names = sorted(SCENARIOS)
+    unknown = sorted(set(names) - set(SCENARIOS))
+    if unknown:
+        print(
+            f"repro check: unknown scenario(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(SCENARIOS))})",
+            file=sys.stderr,
+        )
+        return None
+    return names
+
+
+def run_races(names: _t.Sequence[str]) -> list[dict[str, _t.Any]]:
+    """Run each scenario under a fresh :class:`RaceSanitizer`.
+
+    Returns one record per scenario:
+    ``{scenario, races, locksets, deadlock, error, accesses, frames}``.
+    Never raises — crashes are captured in the record's ``error``.
+    """
+    results: list[dict[str, _t.Any]] = []
+    for name in names:
+        detector = RaceSanitizer()
+        deadlock: str | None = None
+        error: str | None = None
+        try:
+            with detector.installed():
+                SCENARIOS[name]()
+        except DeadlockError as exc:
+            deadlock = str(exc)
+        except Exception:
+            error = traceback.format_exc()
+        results.append(
+            {
+                "scenario": name,
+                "races": [r.to_json() for r in detector.races],
+                "locksets": [r.to_json() for r in detector.lockset_reports],
+                "deadlock": deadlock,
+                "error": error,
+                "accesses": detector.accesses_seen,
+                "frames": detector.frames_tracked,
+                "_detector": detector,
+            }
+        )
+    return results
+
+
+def _render_race_result(result: dict[str, _t.Any], stream: _t.TextIO) -> None:
+    detector: RaceSanitizer = result["_detector"]
+    name = result["scenario"]
+    if result["error"]:
+        print(f"{name}: INTERNAL ERROR\n{result['error']}", file=stream)
+        return
+    if result["deadlock"]:
+        print(f"{name}: DEADLOCK\n{result['deadlock']}", file=stream)
+        return
+    if detector.clean:
+        print(
+            f"{name}: race-free ({result['accesses']} access(es) over "
+            f"{result['frames']} frame(s), no deadlock)",
+            file=stream,
+        )
+        return
+    print(
+        f"{name}: {len(detector.races)} race(s), "
+        f"{len(detector.lockset_reports)} lockset violation(s)",
+        file=stream,
+    )
+    for report in detector.races:
+        print(report.render(), file=stream)
+    for lockset in detector.lockset_reports:
+        print(lockset.render(), file=stream)
+
+
+def _github_escape(message: str) -> str:
+    return message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _emit_lint(
+    reports: _t.Sequence[FileReport], fmt: str, stream: _t.TextIO
+) -> None:
+    for report in reports:
+        if report.parse_error:
+            if fmt == "github":
+                print(
+                    f"::error file={report.path}::parse error: "
+                    f"{_github_escape(report.parse_error)}",
+                    file=stream,
+                )
+            else:
+                print(f"{report.path}: parse error: {report.parse_error}", file=stream)
+        for violation in report.violations:
+            if fmt == "github":
+                print(
+                    f"::error file={violation.path},line={violation.line},"
+                    f"col={violation.col + 1},title={violation.rule_id}::"
+                    f"{_github_escape(violation.message)}",
+                    file=stream,
+                )
+            else:
+                print(violation.format(), file=stream)
+
+
 def run_check(
     paths: _t.Sequence[pathlib.Path] | None = None,
     fix: bool = False,
     determinism: _t.Sequence[str] | None = None,
-    stream: _t.TextIO = sys.stdout,
+    races: _t.Sequence[str] | None = None,
+    fmt: str = "text",
+    select: _t.Sequence[str] | None = None,
+    stream: _t.TextIO | None = None,
 ) -> int:
-    """Lint *paths* (default: the installed ``repro`` package) and
-    optionally verify seed determinism for the named scenarios."""
+    """Lint *paths* (default: the installed ``repro`` package), then
+    optionally verify seed determinism and run the race/deadlock
+    detectors over the named scenarios.  Returns the exit code
+    documented in the module docstring (0/1/2/3)."""
+    if stream is None:
+        stream = sys.stdout
+    if fmt not in FORMATS:
+        print(
+            f"repro check: unknown format {fmt!r} (known: {', '.join(FORMATS)})",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     targets = list(paths) if paths else default_paths()
     for target in targets:
         if not target.exists():
             print(f"repro check: no such path: {target}", file=sys.stderr)
-            return 2
-
-    exit_code = 0
-    if fix:
-        fixed_total = 0
-        for path in iter_python_files(targets):
-            fixed_total += fix_file(path)
-        print(f"applied {fixed_total} autofix(es)", file=stream)
-
-    reports = lint_paths(targets, ALL_RULES)
-    violation_count = 0
-    for report in reports:
-        if report.parse_error:
-            print(f"{report.path}: parse error: {report.parse_error}", file=stream)
-            exit_code = 1
-        for violation in report.violations:
-            print(violation.format(), file=stream)
-            violation_count += 1
-    file_count = len(list(iter_python_files(targets)))
-    if violation_count:
-        exit_code = 1
-        print(
-            f"repro check: {violation_count} violation(s) in "
-            f"{len(reports)} of {file_count} file(s)",
-            file=stream,
-        )
-    else:
-        print(f"repro check: {file_count} file(s) clean", file=stream)
-
+            return EXIT_USAGE
+    rules = select_rules(select)
+    if rules is None:
+        return EXIT_USAGE
+    determinism_names: list[str] | None = None
     if determinism is not None:
-        names = list(determinism) or sorted(SCENARIOS)
-        if "all" in names:
-            names = sorted(SCENARIOS)
-        harness = DeterminismHarness()
-        for name in names:
-            try:
-                report_d = harness.run(name)
-            except DeterminismError as exc:
-                print(str(exc), file=stream)
-                return 2
-            print(report_d.render(), file=stream)
-            if not report_d.identical:
-                exit_code = 1
-    return exit_code
+        determinism_names = _scenario_names(determinism)
+        if determinism_names is None:
+            return EXIT_USAGE
+    race_names: list[str] | None = None
+    if races is not None:
+        race_names = _scenario_names(races)
+        if race_names is None:
+            return EXIT_USAGE
+
+    try:
+        exit_code = EXIT_CLEAN
+        fixes_applied: int | None = None
+        if fix:
+            fixes_applied = 0
+            for path in iter_python_files(targets):
+                fixes_applied += fix_file(path, rules)
+            if fmt != "json":
+                print(f"applied {fixes_applied} autofix(es)", file=stream)
+
+        reports = lint_paths(targets, rules)
+        violation_count = sum(len(r.violations) for r in reports)
+        parse_errors = [r for r in reports if r.parse_error]
+        if violation_count or parse_errors:
+            exit_code = EXIT_FINDINGS
+        file_count = len(list(iter_python_files(targets)))
+        if fmt != "json":
+            _emit_lint(reports, fmt, stream)
+            if violation_count:
+                print(
+                    f"repro check: {violation_count} violation(s) in "
+                    f"{len(reports)} of {file_count} file(s)",
+                    file=stream,
+                )
+            else:
+                print(f"repro check: {file_count} file(s) clean", file=stream)
+
+        determinism_reports: list[DeterminismReport] = []
+        if determinism_names is not None:
+            harness = DeterminismHarness()
+            for name in determinism_names:
+                try:
+                    report = harness.run(name)
+                except DeterminismError as exc:
+                    # harness-level failure (not a mere divergence)
+                    print(str(exc), file=sys.stderr)
+                    return EXIT_INTERNAL
+                determinism_reports.append(report)
+                if fmt != "json":
+                    print(report.render(), file=stream)
+                if not report.identical:
+                    exit_code = max(exit_code, EXIT_FINDINGS)
+
+        race_results: list[dict[str, _t.Any]] = []
+        if race_names is not None:
+            race_results = run_races(race_names)
+            for result in race_results:
+                if fmt != "json":
+                    _render_race_result(result, stream)
+                if result["error"]:
+                    exit_code = max(exit_code, EXIT_INTERNAL)
+                elif (
+                    result["races"] or result["locksets"] or result["deadlock"]
+                ):
+                    exit_code = max(exit_code, EXIT_FINDINGS)
+            if fmt == "github":
+                for result in race_results:
+                    for race in result["races"]:
+                        print(
+                            f"::error title=data race ({result['scenario']})::"
+                            f"{_github_escape(race['kind'] + ' on ' + race['frame'])}",
+                            file=stream,
+                        )
+                    if result["deadlock"]:
+                        print(
+                            f"::error title=deadlock ({result['scenario']})::"
+                            f"{_github_escape(result['deadlock'])}",
+                            file=stream,
+                        )
+
+        if fmt == "json":
+            payload = {
+                "version": 1,
+                "exit_code": exit_code,
+                "files_checked": file_count,
+                "fixes_applied": fixes_applied,
+                "violations": [
+                    {
+                        "rule": v.rule_id,
+                        "path": str(v.path),
+                        "line": v.line,
+                        "col": v.col + 1,
+                        "message": v.message,
+                        "autofixable": v.autofixable,
+                    }
+                    for r in reports
+                    for v in r.violations
+                ],
+                "parse_errors": [
+                    {"path": str(r.path), "error": r.parse_error}
+                    for r in parse_errors
+                ],
+                "determinism": [
+                    {
+                        "scenario": r.scenario,
+                        "identical": r.identical,
+                        "events_first": r.events_first,
+                        "events_second": r.events_second,
+                        "first_divergence": r.first_divergence,
+                    }
+                    for r in determinism_reports
+                ],
+                "races": [
+                    {k: v for k, v in result.items() if not k.startswith("_")}
+                    for result in race_results
+                ],
+            }
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+        return exit_code
+    except Exception:
+        traceback.print_exc(file=sys.stderr)
+        return EXIT_INTERNAL

@@ -146,7 +146,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check_cmd = commands.add_parser(
         "check",
-        help="run the LMP determinism linter (and optionally seed-determinism scenarios)",
+        help="run the LMP determinism linter (and optionally seed-determinism "
+        "scenarios and the race/deadlock detectors)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0  clean: no findings\n"
+            "  1  findings: lint violations, nondeterminism, races, locksets,"
+            " or deadlocks\n"
+            "  2  usage error: unknown path, scenario, rule, or format\n"
+            "  3  internal error: a scenario or the checker itself crashed"
+        ),
     )
     check_cmd.add_argument(
         "paths",
@@ -167,6 +177,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="also rerun scenarios twice and diff their event streams "
         "('all' or names; no names = all)",
     )
+    check_cmd.add_argument(
+        "--races",
+        nargs="*",
+        metavar="SCENARIO",
+        default=None,
+        help="also replay scenarios under the happens-before race detector, "
+        "lockset analysis, and deadlock detection ('all' or names; "
+        "no names = all)",
+    )
+    check_cmd.add_argument(
+        "--format",
+        dest="fmt",
+        choices=["text", "json", "github"],
+        default="text",
+        help="report format: human-readable text (default), machine-readable "
+        "json, or GitHub Actions ::error annotations",
+    )
+    check_cmd.add_argument(
+        "--select",
+        action="append",
+        metavar="RULES",
+        default=None,
+        help="comma-separated LMP rule ids to run (repeatable; default: all)",
+    )
     return parser
 
 
@@ -178,7 +212,14 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     if args.command == "check":
         from repro.check.runner import run_check
 
-        return run_check(args.paths, fix=args.fix, determinism=args.determinism)
+        return run_check(
+            args.paths,
+            fix=args.fix,
+            determinism=args.determinism,
+            races=args.races,
+            fmt=args.fmt,
+            select=args.select,
+        )
     policies = args.policies.split(",") if args.policies else None
     return run_experiments(args.names, out_dir=args.out, policies=policies)
 

@@ -66,9 +66,26 @@ class SessionObserver:
     def on_free(self, session: "LmpSession", buffer: Buffer) -> None:
         """Called after a buffer is released back to the pool."""
 
+    def on_access(
+        self,
+        session: "LmpSession",
+        buffer: Buffer,
+        offset: int,
+        size: int,
+        write: bool,
+    ) -> None:
+        """Called when the session issues a data-path access (read/write,
+        virtual or direct, and per-shard for scans).  Metering and the
+        race detector's frame shadowing hang off this seam."""
+
 
 class LmpSession:
     """One application's handle, bound to its home server."""
+
+    #: installed by repro.check.races.RaceSanitizer: every data-path
+    #: access on *every* session is reported here (in addition to the
+    #: per-session observer).  None = one class-attribute test per access.
+    _access_monitor: _t.ClassVar[SessionObserver | None] = None
 
     def __init__(
         self,
@@ -124,20 +141,33 @@ class LmpSession:
 
     # -- data path --------------------------------------------------------------
 
+    def _observe_access(
+        self, buffer: Buffer, offset: int, size: int, write: bool
+    ) -> None:
+        monitor = LmpSession._access_monitor
+        if monitor is not None:
+            monitor.on_access(self, buffer, offset, size, write)
+        if self.observer is not None:
+            self.observer.on_access(self, buffer, offset, size, write)
+
     def read_v(self, vaddr: int, size: int) -> "Process":
         """Read through a virtual address; the process returns the bytes."""
         buffer, offset = self._resolve(vaddr, size)
+        self._observe_access(buffer, offset, size, write=False)
         return self.runtime.pool.read(self.server_id, buffer, offset, size)
 
     def write_v(self, vaddr: int, data: bytes) -> "Process":
         """Write through a virtual address; the process returns bytes written."""
         buffer, offset = self._resolve(vaddr, len(data))
+        self._observe_access(buffer, offset, len(data), write=True)
         return self.runtime.pool.write(self.server_id, buffer, offset, data)
 
     def read(self, buffer: Buffer, offset: int, size: int) -> "Process":
+        self._observe_access(buffer, offset, size, write=False)
         return self.runtime.pool.read(self.server_id, buffer, offset, size)
 
     def write(self, buffer: Buffer, offset: int, data: bytes) -> "Process":
+        self._observe_access(buffer, offset, len(data), write=True)
         return self.runtime.pool.write(self.server_id, buffer, offset, data)
 
     # -- streaming / compute ------------------------------------------------------
@@ -145,6 +175,7 @@ class LmpSession:
     def scan(self, buffer: Buffer, chunk_bytes: int = mib(32)) -> "Process":
         """Stream the whole buffer with this server's cores; the process
         returns the achieved bandwidth in GB/s."""
+        self._observe_access(buffer, 0, buffer.size, write=False)
         return self.runtime.engine.process(
             self._scan_body(buffer, chunk_bytes), name="session.scan"
         )

@@ -70,6 +70,13 @@ class CoherenceDirectory:
     #: invariants after every transition (None = checks disabled)
     _sanitizer: _t.ClassVar["CoherenceSanitizer | None"] = None
 
+    #: installed by repro.check.races.RaceSanitizer; called as
+    #: fn(directory, op, host, line) at the completion of every load /
+    #: store / rmw.  Loads are acquire edges, stores release edges, rmws
+    #: both — this is what gives the sync primitives (and any app-level
+    #: protocol built on coherent lines) their happens-before ordering.
+    _race_hook: _t.ClassVar[_t.Any] = None
+
     def __init__(
         self,
         deployment: "Deployment",
@@ -128,11 +135,15 @@ class CoherenceDirectory:
             self._line_locks[line] = lock
         return lock
 
-    def _after_transition(self, line: int) -> None:
-        """Sanitizer hook: verify *line*'s invariants post-transition."""
+    def _after_transition(self, line: int, op: str = "", host: int | None = None) -> None:
+        """Sanitizer hook: verify *line*'s invariants post-transition and
+        feed the race detector's per-line vector clocks."""
         sanitizer = type(self)._sanitizer
         if sanitizer is not None:
             sanitizer.verify_line(self, line)
+        hook = type(self)._race_hook
+        if hook is not None and op:
+            hook(self, op, host, line)
 
     def _latency(self, requester: int, target: int) -> float:
         """Loaded latency requester -> target (local curve when equal)."""
@@ -185,7 +196,7 @@ class CoherenceDirectory:
         if line in self._caches[host] and entry.owner in (None, host):
             self.stats.cache_hits += 1
             yield self.engine.timeout(1.0)  # L1 hit
-            self._after_transition(line)
+            self._after_transition(line, "load", host)
             return self._values.get(line, 0)
 
         home = self.home_of(line)
@@ -211,7 +222,7 @@ class CoherenceDirectory:
             entry.sharers.add(host)
             self._caches[host].add(line)
             yield from self._track(home, line, host)
-            self._after_transition(line)
+            self._after_transition(line, "load", host)
             return self._values.get(line, 0)
         finally:
             self._line_lock(line).release()
@@ -230,7 +241,7 @@ class CoherenceDirectory:
             self.stats.cache_hits += 1
             yield self.engine.timeout(1.0)
             self._values[line] = value
-            self._after_transition(line)
+            self._after_transition(line, "store", host)
             return value
 
         home = self.home_of(line)
@@ -247,7 +258,7 @@ class CoherenceDirectory:
             self._caches[host].add(line)
             yield from self._track(home, line, host)
             self._values[line] = value
-            self._after_transition(line)
+            self._after_transition(line, "store", host)
             return value
         finally:
             self._line_lock(line).release()
@@ -280,7 +291,7 @@ class CoherenceDirectory:
             old = self._values.get(line, 0)
             new = fn(old)
             self._values[line] = new
-            self._after_transition(line)
+            self._after_transition(line, "rmw", host)
             return old, new
         finally:
             self._line_lock(line).release()

@@ -22,10 +22,6 @@ class SimulationError(ReproError):
     """The discrete-event simulator was used incorrectly or reached an invalid state."""
 
 
-class DeadlockError(SimulationError):
-    """The event loop ran dry while processes were still waiting."""
-
-
 class CapacityError(ReproError):
     """An allocation cannot be satisfied by the available memory.
 
@@ -137,3 +133,23 @@ class CoherenceInvariantError(SanitizerError, CoherenceError):
 class DeterminismError(SanitizerError):
     """Two runs of the same scenario with the same seed produced
     different event streams."""
+
+
+class DeadlockError(SimulationError, SanitizerError):
+    """The event loop ran dry while processes were still waiting.
+
+    Also a :class:`SanitizerError`: with the ``repro.check.races``
+    deadlock detector installed the message carries the wait-for cycle
+    (who waits on whom, and through which semaphore or process)."""
+
+
+class DataRaceError(SanitizerError):
+    """Two accesses to the same shared frame — at least one a write —
+    were not ordered by happens-before (no coherence transition, sync
+    primitive, resource handoff, or fork/join edge between them)."""
+
+
+class LocksetError(SanitizerError):
+    """Eraser-style lockset violation: a frame was accessed by multiple
+    processes with a write, and the intersection of the resources held
+    across those accesses is empty (no single lock protects it)."""

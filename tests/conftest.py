@@ -5,17 +5,44 @@ Also the sanitizer plugin: the whole suite runs with the
 test that provokes a double-free, use-after-free, overlapping grant, or
 an illegal coherence state fails with a precise ``SanitizerError``
 instead of silently corrupting the model.
+
+Race detection is opt-in per test (the vector-clock shadow state is
+per-test, not per-session):
+
+* ``@pytest.mark.races`` — run the test under a fresh
+  :class:`repro.check.races.RaceSanitizer` and fail it afterwards if
+  any data race or lockset violation was recorded (deadlocks raise
+  ``DeadlockError`` mid-test on their own).
+* ``@pytest.mark.no_races`` — opt a single test back out when the
+  marker was applied at module or class scope.
+* the ``race_sanitizer`` fixture — an installed detector handed to the
+  test for direct inspection; no automatic clean-assertion, so tests
+  can *provoke* races and assert on the reports.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.check.races import RaceSanitizer
 from repro.check.sanitizers import AllocSanitizer, CoherenceSanitizer
 from repro.core.pool import LogicalMemoryPool, PhysicalMemoryPool
 from repro.sim.engine import Engine
 from repro.sim.fluid import FluidModel
 from repro.topology.builder import build_logical, build_physical
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "races: run this test under the repro.check.races detectors "
+        "(happens-before, lockset, deadlock) and fail if any report survives",
+    )
+    config.addinivalue_line(
+        "markers",
+        "no_races: opt this test out of race detection even when 'races' "
+        "is applied at module or class scope",
+    )
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -28,6 +55,36 @@ def sanitizers():
     yield alloc, coherence
     coherence.uninstall()
     alloc.uninstall()
+
+
+@pytest.fixture
+def race_sanitizer():
+    """A freshly installed race/lockset/deadlock detector.
+
+    The test inspects ``detector.races`` / ``detector.lockset_reports``
+    itself; nothing is asserted at teardown.
+    """
+    detector = RaceSanitizer()
+    with detector.installed():
+        yield detector
+
+
+@pytest.fixture(autouse=True)
+def _race_marker(request: pytest.FixtureRequest):
+    """Honor ``@pytest.mark.races`` / ``@pytest.mark.no_races``."""
+    wanted = (
+        request.node.get_closest_marker("races") is not None
+        and request.node.get_closest_marker("no_races") is None
+        # the explicit fixture already installed a detector
+        and "race_sanitizer" not in request.fixturenames
+    )
+    if not wanted:
+        yield
+        return
+    detector = RaceSanitizer()
+    with detector.installed():
+        yield
+    detector.assert_clean()
 
 
 @pytest.fixture
