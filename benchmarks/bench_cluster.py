@@ -88,16 +88,32 @@ def _bare_engine(events: int) -> None:
 
 
 def _assert_detectors_uninstalled() -> None:
+    from repro.cluster.driver import ClusterDriver as _Driver
+    from repro.cluster.manager import PoolManager as _Manager
     from repro.core.api import LmpSession
     from repro.core.coherence.protocol import CoherenceDirectory
+    from repro.core.migration import LocalityBalancer
+    from repro.fabric.transport import MemoryTransport
+    from repro.hw.cpu import Core
     from repro.sim.engine import Engine
     from repro.sim.process import Process
+    from repro.workloads import vector_sum
 
     slots = {
         "Process._monitor": Process._monitor,
         "Engine._monitor": Engine._monitor,
         "LmpSession._access_monitor": LmpSession._access_monitor,
         "CoherenceDirectory._race_hook": CoherenceDirectory._race_hook,
+        # observability seams (repro.obs) — all must default to None
+        "Process._obs": Process._obs,
+        "LmpSession._obs": LmpSession._obs,
+        "CoherenceDirectory._obs": CoherenceDirectory._obs,
+        "MemoryTransport._obs": MemoryTransport._obs,
+        "Core._obs": Core._obs,
+        "LocalityBalancer._obs": LocalityBalancer._obs,
+        "PoolManager._obs": _Manager._obs,
+        "ClusterDriver._obs": _Driver._obs,
+        "workloads.vector_sum._obs": vector_sum._obs,
     }
     stale = [name for name, value in slots.items() if value is not None]
     if stale:
@@ -114,6 +130,18 @@ def smoke(events: int = 100_000, tenants: int = 8) -> None:
     started = time.perf_counter()
     report = _drive(tenants)
     drive = time.perf_counter() - started
+
+    # observability overhead check: same driver run with repro.obs
+    # installed vs. the uninstalled (seams = None) baseline just timed
+    from repro.obs import Observability
+
+    obs = Observability()
+    with obs.activated():
+        started = time.perf_counter()
+        obs_report = _drive(tenants)
+        with_obs = time.perf_counter() - started
+    _assert_detectors_uninstalled()  # activated() must restore every seam
+
     print(
         f"bare engine: {events} events in {bare:.3f}s "
         f"({events / bare / 1e3:.0f}k events/s)"
@@ -122,6 +150,15 @@ def smoke(events: int = 100_000, tenants: int = 8) -> None:
         f"driver ({tenants} tenants x 30 ops): {drive:.3f}s, "
         f"{report.total_ops} ops, fairness {report.fairness:.2f}"
     )
+    print(
+        f"driver with repro.obs installed: {with_obs:.3f}s "
+        f"({with_obs / drive:.2f}x uninstalled, {len(obs.recorder.spans)} spans)"
+    )
+    if obs_report.total_ops != report.total_ops:
+        raise SystemExit(
+            "observability changed the simulation: "
+            f"{obs_report.total_ops} ops with obs vs {report.total_ops} without"
+        )
     print("detector seams: all None (zero-cost path) — OK")
 
 

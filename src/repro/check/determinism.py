@@ -51,12 +51,56 @@ def _scenario_cluster() -> _t.Any:
     )
 
 
+def _scenario_obs() -> _t.Any:
+    """A cluster run with :mod:`repro.obs` fully installed.
+
+    Beyond the harness's engine-stream diff, the scenario itself runs
+    the workload twice with fresh recorders and insists the exported
+    Chrome trace JSON is byte-identical — span ids, parenting, and
+    every attribute must be functions of the seed alone.
+    """
+    from repro.cluster.driver import ClusterDriver, WorkloadMix
+    from repro.cluster.tenants import PriorityClass
+    from repro.experiments.cluster import _manager, _specs
+    from repro.obs import Observability, chrome_trace
+    from repro.units import kib, mib
+
+    def one_run() -> str:
+        obs = Observability()
+        with obs.activated():
+            manager = _manager(
+                "first-fit",
+                server_count=2,
+                server_dram_bytes=mib(8),
+                shared_fraction=0.75,
+                seed=0,
+            )
+            mix = WorkloadMix(
+                alloc_bytes=kib(192), access_bytes=kib(4), lock_fraction=0.25
+            )
+            driver = ClusterDriver(manager, mix=mix)
+            specs = _specs(
+                4, 2, quota_bytes=mib(8), priority=PriorityClass.STANDARD
+            )
+            driver.run(specs, ops_per_tenant=8)
+        return chrome_trace(obs)
+
+    first = one_run()
+    second = one_run()
+    if first != second:
+        raise DeterminismError(
+            "obs: exported Chrome traces differ between two same-seed runs"
+        )
+    return first
+
+
 #: scenario name -> zero-argument callable; reduced sizes keep reruns cheap
 SCENARIOS: dict[str, _t.Callable[[], _t.Any]] = {
     "figure2": _scenario_figure2,
     "incast": _scenario_incast,
     "migration": _scenario_migration,
     "cluster": _scenario_cluster,
+    "obs": _scenario_obs,
 }
 
 

@@ -644,6 +644,53 @@ class HoldAcrossYieldRule(Rule):
         return out
 
 
+#: modules allowed to print: CLI surfaces whose *job* is stdout
+_PRINT_EXEMPT_SUFFIXES = ("cli.py", "check/runner.py", "analysis/report.py")
+
+
+class BarePrintRule(Rule):
+    """LMP009 — bare ``print()`` in library code.
+
+    A ``print()`` inside the simulator or its models writes straight to
+    the host's stdout: it cannot be captured by the metrics pipeline,
+    breaks quiet runs under pytest/CI, and tempts ad-hoc debugging
+    output into committed code.  Route numbers through ``repro.obs``
+    (spans/metrics), return values for the caller to render, or emit
+    through ``sim.trace``.  The CLI (``cli.py``), the check runner, and
+    the report renderers are exempt — stdout is their interface.
+    Suppress intentional prints with ``# noqa: LMP009``.
+    """
+
+    id = "LMP009"
+    title = "bare print() in library code"
+    subsystems = None
+
+    def applies(self, ctx: LintContext) -> bool:
+        if "repro" not in ctx.path.parts:
+            return False
+        posix = ctx.path.as_posix()
+        return not any(posix.endswith(suffix) for suffix in _PRINT_EXEMPT_SUFFIXES)
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                out.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        "bare print() in library code; route through repro.obs "
+                        "metrics/spans or return the value (# noqa: LMP009 if "
+                        "intentional)",
+                    )
+                )
+        return out
+
+
 #: every rule, in id order — the linter's registry
 ALL_RULES: tuple[Rule, ...] = (
     WallClockRule(),
@@ -654,4 +701,5 @@ ALL_RULES: tuple[Rule, ...] = (
     SetPopRule(),
     SharedWriteOutsideSyncRule(),
     HoldAcrossYieldRule(),
+    BarePrintRule(),
 )

@@ -6,9 +6,14 @@ Usage::
     python -m repro run figure2
     python -m repro run table2 figure5 nearmem
     python -m repro run all --out results/
+    python -m repro run cluster --obs obs-dump/
+    python -m repro obs obs-dump/
 
 Each experiment prints its rendered tables/charts to stdout and,
-with ``--out DIR``, also writes ``<id>.txt`` files.
+with ``--out DIR``, also writes ``<id>.txt`` files.  ``--obs DIR``
+additionally records causal spans + metrics and dumps them under
+``DIR/<id>/``; ``repro obs`` re-renders the latency breakdown from
+such a dump later.
 """
 
 from __future__ import annotations
@@ -80,8 +85,14 @@ def run_experiments(
     out_dir: pathlib.Path | None = None,
     stream: _t.TextIO = sys.stdout,
     policies: _t.Sequence[str] | None = None,
+    obs_dir: pathlib.Path | None = None,
 ) -> int:
-    """Run experiments by name; returns a process exit code."""
+    """Run experiments by name; returns a process exit code.
+
+    With *obs_dir*, every experiment runs with :mod:`repro.obs`
+    installed: spans/metrics are dumped to ``obs_dir/<id>/`` and a
+    per-request latency breakdown is printed after the tables.
+    """
     if "all" in names:
         names = list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -112,15 +123,56 @@ def run_experiments(
             runner = _runner("cluster", policies=tuple(policies))
         print(f"=== {name}: {description} ===", file=stream)
         started = time.perf_counter()
-        result = runner()
+        if obs_dir is not None:
+            from repro.obs import Observability, latency_breakdown, render_breakdown
+
+            obs = Observability()
+            with obs.activated():
+                result = runner()
+            obs.dump(obs_dir / name)
+            breakdown = render_breakdown(
+                latency_breakdown(obs.recorder.spans),
+                title=f"{name}: latency breakdown",
+            )
+        else:
+            result = runner()
+            breakdown = ""
         elapsed = time.perf_counter() - started
         rendered = result.render()
         print(rendered, file=stream)
+        if breakdown:
+            print(breakdown, file=stream)
+            print(f"(observability dump: {obs_dir / name})", file=stream)
         print(f"({elapsed:.1f}s wall clock)\n", file=stream)
         if out_dir is not None:
             out_dir.mkdir(parents=True, exist_ok=True)
             (out_dir / f"{name}.txt").write_text(rendered + "\n")
     return 0
+
+
+def summarize_obs(paths: _t.Sequence[pathlib.Path], stream: _t.TextIO = sys.stdout) -> int:
+    """``repro obs``: render latency breakdowns from span dumps."""
+    from repro.errors import ObservabilityError
+    from repro.obs import summarize_dump
+    from repro.obs.report import iter_dump_dirs
+
+    status = 0
+    for root in paths:
+        try:
+            dump_dirs = iter_dump_dirs(root)
+        except ObservabilityError as exc:
+            print(f"{root}: {exc}", file=sys.stderr)
+            status = 2
+            continue
+        for dump_dir in dump_dirs:
+            print(f"=== {dump_dir} ===", file=stream)
+            try:
+                print(summarize_dump(dump_dir), file=stream)
+            except ObservabilityError as exc:
+                print(f"{dump_dir}: {exc}", file=sys.stderr)
+                status = 2
+            print(file=stream)
+    return status
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -143,6 +195,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated placement schedulers for the 'cluster' "
         "experiment (e.g. first-fit,fragmentation-aware)",
+    )
+    run_cmd.add_argument(
+        "--obs",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="record causal spans + metrics while the experiments run and "
+        "dump them (Perfetto trace, Prometheus text, time series) to "
+        "DIR/<id>/; also prints a per-request latency breakdown",
+    )
+    obs_cmd = commands.add_parser(
+        "obs",
+        help="summarize observability dumps written by 'run --obs'",
+    )
+    obs_cmd.add_argument(
+        "paths",
+        nargs="+",
+        type=pathlib.Path,
+        help="dump directories (a single dump or a --obs root with one "
+        "subdirectory per experiment)",
     )
     check_cmd = commands.add_parser(
         "check",
@@ -220,8 +292,12 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             fmt=args.fmt,
             select=args.select,
         )
+    if args.command == "obs":
+        return summarize_obs(args.paths)
     policies = args.policies.split(",") if args.policies else None
-    return run_experiments(args.names, out_dir=args.out, policies=policies)
+    return run_experiments(
+        args.names, out_dir=args.out, policies=policies, obs_dir=args.obs
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -48,12 +48,18 @@ class WorkloadMix:
     access_bytes: int = 16 * 1024
     sessions_per_tenant: int = 2
     backoff: float = us(5)
+    #: fraction of data ops wrapped in a coherent spinlock critical
+    #: section (0.0 = no lock traffic and no extra RNG draws, so the
+    #: default behaves bit-identically to the pre-lock driver)
+    lock_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.alloc_fraction + self.free_fraction >= 1.0:
             raise ConfigError("alloc + free fractions must leave room for data ops")
         if self.sessions_per_tenant < 1:
             raise ConfigError("each tenant needs at least one session")
+        if not 0.0 <= self.lock_fraction <= 1.0:
+            raise ConfigError(f"lock_fraction must be in [0, 1], got {self.lock_fraction}")
 
 
 @dataclasses.dataclass
@@ -107,9 +113,28 @@ class DriverReport:
         merged = self.merged_latency()
         return merged.quantile(0.99) if len(merged) else 0.0
 
+    def latency_summary(self) -> dict[str, float]:
+        """Rack-level latency quantiles from one merged sort pass."""
+        merged = self.merged_latency()
+        if not len(merged):
+            return {}
+        p50, p90, p99 = merged.percentile_many((0.5, 0.9, 0.99))
+        return {
+            "p50": p50,
+            "p90": p90,
+            "p99": p99,
+            "mean": merged.mean(),
+            "max": merged.maximum(),
+        }
+
 
 class ClusterDriver:
     """Spawns one process per tenant and collects the report."""
+
+    #: installed by repro.obs.Observability: opens one request span per
+    #: tenant op (the root of the causal tree) and folds the finished
+    #: report into the metrics registry.  None = disabled.
+    _obs: _t.ClassVar[_t.Any] = None
 
     def __init__(
         self,
@@ -122,6 +147,33 @@ class ClusterDriver:
         self._latency: dict[str, Histogram] = {}
         self._killed: dict[str, bool] = {}
         self._finished_at: dict[str, float] = {}
+        #: one rack-wide spinlock shared by every tenant's locked ops
+        #: (created lazily by the first tenant when lock_fraction > 0)
+        self._lock: _t.Any = None
+
+    def _shared_lock(self, session: "LmpSession") -> _t.Any:
+        if self._lock is None:
+            self._lock = session.spinlock()
+        return self._lock
+
+    def _data_op(self, session, mapping, offset, size, lock, rng):
+        """One read or write, optionally inside the shared spinlock's
+        critical section; returns the op kind for the request span."""
+        mix = self.mix
+        # short-circuits when no lock is configured, so the RNG stream
+        # matches a lock_fraction=0 run exactly
+        locked = lock is not None and rng.random() < mix.lock_fraction
+        if locked:
+            yield lock.acquire(session.server_id)
+        try:
+            if rng.random() < mix.write_fraction:
+                yield session.write_v(mapping.vaddr + offset, bytes(size))
+                return "locked_write" if locked else "write"
+            yield session.read_v(mapping.vaddr + offset, size)
+            return "locked_read" if locked else "read"
+        finally:
+            if locked:
+                yield lock.release(session.server_id)
 
     # -- tenant processes -----------------------------------------------------
 
@@ -137,18 +189,26 @@ class ClusterDriver:
     def _tenant_body(self, spec: TenantSpec, ops: int):
         mix = self.mix
         manager = self.manager
+        obs = ClusterDriver._obs
         tenant = manager.tenant(spec.tenant_id)
         rng = self.engine.rng.stream(f"cluster.tenant.{spec.tenant_id}")
         sessions: list["LmpSession"] = [
             manager.open_session(spec.tenant_id)
             for _ in range(mix.sessions_per_tenant)
         ]
+        lock = self._shared_lock(sessions[0]) if mix.lock_fraction > 0 else None
         # lease -> (session that allocated it, its virtual mapping)
         held: list[tuple[Lease, "LmpSession", "Mapping"]] = []
         try:
             for _op in range(ops):
                 started = self.engine.now
                 draw = rng.random()
+                span = (
+                    obs.request_begin(self, spec.tenant_id, _op)
+                    if obs is not None
+                    else None
+                )
+                op_kind = "alloc"
                 try:
                     if not held or draw < mix.alloc_fraction:
                         lease = yield manager.acquire(
@@ -157,6 +217,7 @@ class ClusterDriver:
                         session = sessions[rng.randrange(len(sessions))]
                         held.append((lease, session, session.map(lease.buffer)))
                     elif draw < mix.alloc_fraction + mix.free_fraction and len(held) > 1:
+                        op_kind = "free"
                         lease, session, mapping = held.pop(rng.randrange(len(held)))
                         session.unmap(mapping)
                         manager.release(lease)
@@ -165,19 +226,20 @@ class ClusterDriver:
                         offset, size = next(
                             uniform_trace(lease.size, mix.access_bytes, 1, rng)
                         )
-                        if rng.random() < mix.write_fraction:
-                            yield session.write_v(
-                                mapping.vaddr + offset, bytes(size)
-                            )
-                        else:
-                            yield session.read_v(mapping.vaddr + offset, size)
+                        op_kind = yield from self._data_op(
+                            session, mapping, offset, size, lock, rng
+                        )
                         manager.renew(lease)
                 except AdmissionError:
                     # rejected: back off and move on (counted by the manager)
+                    if span is not None:
+                        obs.request_end(span, self.engine.now, op_kind, "rejected")
                     yield self.engine.timeout(mix.backoff)
                     continue
                 tenant.ops_completed += 1
                 self._latency[spec.tenant_id].record(self.engine.now - started)
+                if span is not None:
+                    obs.request_end(span, self.engine.now, op_kind, "ok")
         except (ClusterError, MemoryFailureError, AddressError) as exc:
             # revoked mid-run (home server crash), a data op hit a dead
             # server, or a data op touched a buffer revocation already
@@ -210,7 +272,11 @@ class ClusterDriver:
         procs = [self.tenant_process(spec, ops_per_tenant) for spec in specs]
         done = self.engine.all_of(procs)
         self.engine.run(done)
-        return self.report(specs)
+        report = self.report(specs)
+        obs = ClusterDriver._obs
+        if obs is not None:
+            obs.ingest_report(report)
+        return report
 
     def report(self, specs: _t.Sequence[TenantSpec]) -> DriverReport:
         duration = self.engine.now

@@ -129,6 +129,10 @@ class _TenantObserver(SessionObserver):
 class PoolManager:
     """Admission + placement + leases over one :class:`LmpRuntime`."""
 
+    #: installed by repro.obs.Observability: charges admission queueing
+    #: time to the running acquire span's latency categories.
+    _obs: _t.ClassVar[_t.Any] = None
+
     def __init__(
         self,
         runtime: LmpRuntime,
@@ -243,7 +247,11 @@ class PoolManager:
             self._queue.append(waiter)
             self._queue.sort(key=lambda w: w.order)
             lease = yield waiter.event
-            self.stats.histogram("wait_ns").record(self.engine.now - waiter.enqueued_at)
+            waited = self.engine.now - waiter.enqueued_at
+            self.stats.histogram("wait_ns").record(waited)
+            obs = PoolManager._obs
+            if obs is not None:
+                obs.add("cat_queue_ns", waited)
             return lease
         # a rejection: count it under the right reason and raise
         if verdict.decision is Decision.REJECT_QUOTA:

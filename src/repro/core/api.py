@@ -87,6 +87,11 @@ class LmpSession:
     #: per-session observer).  None = one class-attribute test per access.
     _access_monitor: _t.ClassVar[SessionObserver | None] = None
 
+    #: installed by repro.obs.Observability: wraps every data-path access
+    #: in a session span that closes when the access process completes.
+    #: None = one class-attribute test per access.
+    _obs: _t.ClassVar[_t.Any] = None
+
     def __init__(
         self,
         runtime: LmpRuntime,
@@ -150,25 +155,48 @@ class LmpSession:
         if self.observer is not None:
             self.observer.on_access(self, buffer, offset, size, write)
 
+    def _traced(self, op: str, nbytes: int, proc_fn: _t.Callable[[], "Process"]) -> "Process":
+        """Run *proc_fn* inside a session span (closed when the returned
+        data-path process completes)."""
+        obs = LmpSession._obs
+        if obs is None:
+            return proc_fn()
+        span = obs.session_begin(self, op, nbytes)
+        proc = proc_fn()
+        obs.session_end(span, proc)
+        return proc
+
     def read_v(self, vaddr: int, size: int) -> "Process":
         """Read through a virtual address; the process returns the bytes."""
         buffer, offset = self._resolve(vaddr, size)
         self._observe_access(buffer, offset, size, write=False)
-        return self.runtime.pool.read(self.server_id, buffer, offset, size)
+        return self._traced(
+            "read", size,
+            lambda: self.runtime.pool.read(self.server_id, buffer, offset, size),
+        )
 
     def write_v(self, vaddr: int, data: bytes) -> "Process":
         """Write through a virtual address; the process returns bytes written."""
         buffer, offset = self._resolve(vaddr, len(data))
         self._observe_access(buffer, offset, len(data), write=True)
-        return self.runtime.pool.write(self.server_id, buffer, offset, data)
+        return self._traced(
+            "write", len(data),
+            lambda: self.runtime.pool.write(self.server_id, buffer, offset, data),
+        )
 
     def read(self, buffer: Buffer, offset: int, size: int) -> "Process":
         self._observe_access(buffer, offset, size, write=False)
-        return self.runtime.pool.read(self.server_id, buffer, offset, size)
+        return self._traced(
+            "read", size,
+            lambda: self.runtime.pool.read(self.server_id, buffer, offset, size),
+        )
 
     def write(self, buffer: Buffer, offset: int, data: bytes) -> "Process":
         self._observe_access(buffer, offset, len(data), write=True)
-        return self.runtime.pool.write(self.server_id, buffer, offset, data)
+        return self._traced(
+            "write", len(data),
+            lambda: self.runtime.pool.write(self.server_id, buffer, offset, data),
+        )
 
     # -- streaming / compute ------------------------------------------------------
 
@@ -176,8 +204,11 @@ class LmpSession:
         """Stream the whole buffer with this server's cores; the process
         returns the achieved bandwidth in GB/s."""
         self._observe_access(buffer, 0, buffer.size, write=False)
-        return self.runtime.engine.process(
-            self._scan_body(buffer, chunk_bytes), name="session.scan"
+        return self._traced(
+            "scan", buffer.size,
+            lambda: self.runtime.engine.process(
+                self._scan_body(buffer, chunk_bytes), name="session.scan"
+            ),
         )
 
     def _scan_body(self, buffer: Buffer, chunk_bytes: int):

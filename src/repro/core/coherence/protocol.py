@@ -77,6 +77,11 @@ class CoherenceDirectory:
     #: protocol built on coherent lines) their happens-before ordering.
     _race_hook: _t.ClassVar[_t.Any] = None
 
+    #: installed by repro.obs.Observability: annotates the running
+    #: transaction's span (op/host/line/hit, latency categories) and
+    #: counts protocol ops in the metrics registry.  None = disabled.
+    _obs: _t.ClassVar[_t.Any] = None
+
     def __init__(
         self,
         deployment: "Deployment",
@@ -192,18 +197,29 @@ class CoherenceDirectory:
     def _load_body(self, host: int, line: int):
         self._check_line(line)
         self.stats.loads += 1
+        obs = type(self)._obs
         entry = self._entry(line)
         if line in self._caches[host] and entry.owner in (None, host):
             self.stats.cache_hits += 1
+            if obs is not None:
+                obs.coherence_op(self, "load", host, line, hit=True)
+                obs.add("cat_cache_ns", 1.0)
             yield self.engine.timeout(1.0)  # L1 hit
             self._after_transition(line, "load", host)
             return self._values.get(line, 0)
 
         home = self.home_of(line)
-        yield self.engine.timeout(self._latency(host, home))
+        home_latency = self._latency(host, home)
+        if obs is not None:
+            obs.coherence_op(self, "load", host, line, hit=False)
+            obs.add("cat_link_ns", home_latency)
+        yield self.engine.timeout(home_latency)
+        entered = self.engine.now
         yield self._line_lock(line).acquire()
         try:
             yield self._queues[home].submit()
+            if obs is not None:
+                obs.add("cat_queue_ns", self.engine.now - entered)
             self.stats.directory_messages += 1
             if home != host:
                 self.stats.remote_directory_messages += 1
@@ -211,7 +227,10 @@ class CoherenceDirectory:
             owner = entry.owner
             if owner is not None and owner != host:
                 # downgrade M -> S with writeback
-                yield self.engine.timeout(self._latency(home, owner))
+                downgrade = self._latency(home, owner)
+                if obs is not None:
+                    obs.add("cat_link_ns", downgrade)
+                yield self.engine.timeout(downgrade)
                 self._caches[owner].discard(line)
                 entry.sharers.discard(owner)
                 self.snoop_filters[home].untrack(line, owner)
@@ -236,19 +255,30 @@ class CoherenceDirectory:
     def _store_body(self, host: int, line: int, value: int):
         self._check_line(line)
         self.stats.stores += 1
+        obs = type(self)._obs
         entry = self._entry(line)
         if entry.owner == host:
             self.stats.cache_hits += 1
+            if obs is not None:
+                obs.coherence_op(self, "store", host, line, hit=True)
+                obs.add("cat_cache_ns", 1.0)
             yield self.engine.timeout(1.0)
             self._values[line] = value
             self._after_transition(line, "store", host)
             return value
 
         home = self.home_of(line)
-        yield self.engine.timeout(self._latency(host, home))
+        home_latency = self._latency(host, home)
+        if obs is not None:
+            obs.coherence_op(self, "store", host, line, hit=False)
+            obs.add("cat_link_ns", home_latency)
+        yield self.engine.timeout(home_latency)
+        entered = self.engine.now
         yield self._line_lock(line).acquire()
         try:
             yield self._queues[home].submit()
+            if obs is not None:
+                obs.add("cat_queue_ns", self.engine.now - entered)
             self.stats.directory_messages += 1
             if home != host:
                 self.stats.remote_directory_messages += 1
@@ -275,11 +305,19 @@ class CoherenceDirectory:
     def _rmw_body(self, host: int, line: int, fn: _t.Callable[[int], int]):
         self._check_line(line)
         self.stats.rmws += 1
+        obs = type(self)._obs
         home = self.home_of(line)
-        yield self.engine.timeout(self._latency(host, home))
+        home_latency = self._latency(host, home)
+        if obs is not None:
+            obs.coherence_op(self, "rmw", host, line, hit=False)
+            obs.add("cat_link_ns", home_latency)
+        yield self.engine.timeout(home_latency)
+        entered = self.engine.now
         yield self._line_lock(line).acquire()
         try:
             yield self._queues[home].submit()
+            if obs is not None:
+                obs.add("cat_queue_ns", self.engine.now - entered)
             self.stats.directory_messages += 1
             if home != host:
                 self.stats.remote_directory_messages += 1
@@ -309,6 +347,9 @@ class CoherenceDirectory:
         if not victims:
             return
         worst = max(self._latency(home, v) for v in victims)
+        obs = type(self)._obs
+        if obs is not None:
+            obs.add("cat_link_ns", worst)
         yield self.engine.timeout(worst)
         for victim in sorted(victims):
             self._caches[victim].discard(line)
@@ -324,10 +365,13 @@ class CoherenceDirectory:
         """Insert into the home's snoop filter, back-invalidating victims
         if the filter overflows."""
         victims = self.snoop_filters[home].track(line, host)
+        obs = type(self)._obs
         for victim_line, victim_sharers in victims:
             if not victim_sharers:
                 continue
             worst = max(self._latency(home, v) for v in victim_sharers)
+            if obs is not None:
+                obs.add("cat_link_ns", worst)
             yield self.engine.timeout(worst)
             victim_entry = self._entries.get(victim_line)
             for sharer in sorted(victim_sharers):

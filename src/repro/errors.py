@@ -97,6 +97,11 @@ class LeaseError(ClusterError):
     owned by a different tenant)."""
 
 
+class ObservabilityError(ReproError):
+    """The ``repro.obs`` subsystem was misused (double-install, seams
+    already occupied, or an export asked of an empty recorder)."""
+
+
 class SanitizerError(ReproError):
     """Base class for every error raised by the ``repro.check`` runtime
     sanitizers (the substitute for silicon validation: we have no

@@ -26,6 +26,11 @@ if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class MemoryTransport:
     """Issue loads/stores/copies between endpoints attached to a switch."""
 
+    #: installed by repro.obs.Observability: annotates the running
+    #: operation's span (route, bytes) and charges link/fabric/DRAM time
+    #: to the latency-breakdown categories.  None = disabled.
+    _obs: _t.ClassVar[_t.Any] = None
+
     def __init__(self, engine: "Engine", fluid: FluidModel, switch: FabricSwitch) -> None:
         self.engine = engine
         self.fluid = fluid
@@ -49,9 +54,19 @@ class MemoryTransport:
         route = self.switch.read_route(requester, owner)
         self.reads_issued += 1
         self.bytes_read += size
-        yield self.engine.timeout(route.loaded_latency())
+        obs = MemoryTransport._obs
+        latency = route.loaded_latency()
+        if obs is not None:
+            obs.annotate(
+                op="read", requester=requester, owner=owner,
+                bytes=size, remote=route.remote,
+            )
+        yield self.engine.timeout(latency)
+        started = self.engine.now
         if route.path:
             yield self.fluid.transfer(route.path, size, tag=route.description)
+        if obs is not None:
+            obs.route_time(route.remote, latency, self.engine.now - started)
         device = self.switch.device_of(owner)
         return device.read_bytes(addr, size)
 
@@ -66,9 +81,19 @@ class MemoryTransport:
         route = self.switch.write_route(requester, owner)
         self.writes_issued += 1
         self.bytes_written += len(data)
-        yield self.engine.timeout(route.loaded_latency())
+        obs = MemoryTransport._obs
+        latency = route.loaded_latency()
+        if obs is not None:
+            obs.annotate(
+                op="write", requester=requester, owner=owner,
+                bytes=len(data), remote=route.remote,
+            )
+        yield self.engine.timeout(latency)
+        started = self.engine.now
         if route.path:
             yield self.fluid.transfer(route.path, len(data), tag=route.description)
+        if obs is not None:
+            obs.route_time(route.remote, latency, self.engine.now - started)
         device = self.switch.device_of(owner)
         device.write_bytes(addr, data)
         return len(data)
@@ -104,7 +129,15 @@ class MemoryTransport:
         src_dev = self.switch.device_of(src_owner)
         dst_dev = self.switch.device_of(dst_owner)
         moved = 0
-        yield self.engine.timeout(route.loaded_latency())
+        obs = MemoryTransport._obs
+        latency = route.loaded_latency()
+        if obs is not None:
+            obs.annotate(
+                op="copy", requester=src_owner, owner=dst_owner,
+                bytes=size, remote=route.remote,
+            )
+        yield self.engine.timeout(latency)
+        transferred_at = self.engine.now
         while moved < size:
             chunk = min(chunk_bytes, size - moved)
             yield self.fluid.transfer(route.path, chunk, tag=route.description)
@@ -113,6 +146,8 @@ class MemoryTransport:
                 dst_dev.store, src_addr + moved, dst_addr + moved, chunk
             )
             moved += chunk
+        if obs is not None:
+            obs.route_time(route.remote, latency, self.engine.now - transferred_at)
         return self.engine.now - started
 
     # -- cache-line probe (latency measurements) -------------------------------
@@ -127,6 +162,16 @@ class MemoryTransport:
     def _probe_body(self, requester: str, owner: str):
         route = self.switch.read_route(requester, owner)
         start = self.engine.now
-        yield self.engine.timeout(route.loaded_latency())
+        obs = MemoryTransport._obs
+        latency = route.loaded_latency()
+        if obs is not None:
+            obs.annotate(
+                op="probe", requester=requester, owner=owner,
+                bytes=64, remote=route.remote,
+            )
+        yield self.engine.timeout(latency)
+        transferred_at = self.engine.now
         yield self.fluid.transfer(route.path, 64.0, tag="probe")
+        if obs is not None:
+            obs.route_time(route.remote, latency, self.engine.now - transferred_at)
         return self.engine.now - start

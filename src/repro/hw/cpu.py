@@ -58,6 +58,16 @@ class AccessSegment:
 class Core:
     """One hardware thread streaming data through the fluid model."""
 
+    #: installed by repro.obs.Observability: charges per-chunk stream
+    #: time to the latency-breakdown categories on the core's process
+    #: span.  None = one class-attribute load per stream body.
+    _obs: _t.ClassVar[_t.Any] = None
+
+    #: segment labels served by this server's own DRAM (everything else
+    #: crossed the fabric): "local" direct hits and "cached" page-cache
+    #: hits.  See LogicalMemoryPool.access_segments for the label set.
+    _LOCAL_LABELS = ("local", "cached")
+
     def __init__(
         self,
         engine: "Engine",
@@ -90,9 +100,13 @@ class Core:
 
     def _stream_body(self, segments: list[AccessSegment]):
         moved = 0
+        obs = Core._obs
         for seg in segments:
             remaining = seg.nbytes
             fill_remaining = seg.fill_bytes
+            remote = bool(seg.label) and seg.label not in Core._LOCAL_LABELS
+            if obs is not None:
+                obs.annotate(core=self.name, label=seg.label or "scan", remote=remote)
             while remaining > 0:
                 chunk = min(self.chunk_bytes, remaining)
                 # Cache-miss chunks fetch from the fill path first (the
@@ -100,6 +114,7 @@ class Core:
                 if seg.fill_path is not None and fill_remaining > 0:
                     fill_chunk = min(self.chunk_bytes, fill_remaining)
                     fill_lat = (seg.fill_latency_fn or seg.latency_fn)()
+                    fill_started = self.engine.now
                     done = self.fluid.transfer(
                         seg.fill_path,
                         fill_chunk,
@@ -107,11 +122,15 @@ class Core:
                         tag=f"{self.name}.fill",
                     )
                     yield done
+                    if obs is not None:
+                        # cache fills always cross the fabric
+                        obs.route_time(True, 0.0, self.engine.now - fill_started)
                     fill_remaining -= fill_chunk
                 latency = seg.latency_fn()
                 # The first line of each chunk pays the access latency;
                 # the rest stream behind it.
                 yield self.engine.timeout(latency)
+                chunk_started = self.engine.now
                 done = self.fluid.transfer(
                     seg.path,
                     chunk,
@@ -119,6 +138,8 @@ class Core:
                     tag=f"{self.name}.{seg.label or 'scan'}",
                 )
                 yield done
+                if obs is not None:
+                    obs.route_time(remote, latency, self.engine.now - chunk_started)
                 remaining -= chunk
                 moved += chunk
                 self.bytes_streamed += chunk

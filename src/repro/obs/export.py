@@ -1,0 +1,227 @@
+"""Exporters: Chrome trace-event JSON, Prometheus text, time series.
+
+All three formats are rendered deterministically — sorted keys, compact
+separators, counter-derived ids — so two same-seed runs produce
+byte-identical files.  That property is load-bearing: the ``obs``
+scenario in :mod:`repro.check.determinism` diffs whole trace exports.
+
+* :func:`chrome_trace` — the Trace Event Format's ``"X"`` (complete)
+  events, loadable by Perfetto / ``chrome://tracing``.  ``pid`` is the
+  engine index (one simulated rack per "process"), ``tid`` is the root
+  span id of each causal tree (one request per "thread"), so a tenant
+  request renders as one swim lane with its session/coherence/fabric
+  children nested underneath.
+* :func:`prometheus_text` — the text exposition format; histograms are
+  rendered as summaries with ``quantile`` labels (one sort pass via
+  :meth:`~repro.sim.stats.Histogram.percentile_many`).
+* :func:`timeseries_csv` / :func:`timeseries_json` — the windowed
+  metric snapshots as flat rows.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import Observability, Span
+
+#: Prometheus metric/label name sanitizer
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: quantiles rendered for every histogram summary
+_SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def _compact(doc: _t.Any) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+# -- Chrome trace-event JSON --------------------------------------------------
+
+
+def root_of(spans: _t.Sequence["Span"]) -> dict[int, int]:
+    """Map every span id to the id of its tree's root."""
+    by_id = {span.span_id: span for span in spans}
+    roots: dict[int, int] = {}
+
+    def resolve(span_id: int) -> int:
+        found = roots.get(span_id)
+        if found is not None:
+            return found
+        span = by_id[span_id]
+        if span.parent_id is None or span.parent_id not in by_id:
+            roots[span_id] = span_id
+        else:
+            roots[span_id] = resolve(span.parent_id)
+        return roots[span_id]
+
+    for span in spans:
+        resolve(span.span_id)
+    return roots
+
+
+def chrome_trace(obs: "Observability") -> str:
+    """Render every recorded span as Trace Event Format JSON."""
+    spans = obs.recorder.spans
+    roots = root_of(spans)
+    events: list[dict[str, _t.Any]] = []
+
+    engine_count = len(obs.recorder.engines)
+    for index in range(engine_count):
+        events.append(
+            {
+                "ph": "M",
+                "pid": index,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"engine{index}"},
+            }
+        )
+    named_threads: set[tuple[int, int]] = set()
+    for span in spans:
+        root_id = roots[span.span_id]
+        if span.span_id == root_id and (span.engine_index, root_id) not in named_threads:
+            named_threads.add((span.engine_index, root_id))
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": span.engine_index,
+                    "tid": root_id,
+                    "name": "thread_name",
+                    "args": {"name": span.name},
+                }
+            )
+
+    for span in spans:
+        end_ns = span.start_ns if span.end_ns is None else span.end_ns
+        args: dict[str, _t.Any] = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.end_ns is None:
+            args["unfinished"] = True
+        args.update(span.attrs)
+        events.append(
+            {
+                "ph": "X",
+                "pid": span.engine_index,
+                "tid": roots[span.span_id],
+                "ts": span.start_ns / 1000.0,  # trace-event ts is in us
+                "dur": (end_ns - span.start_ns) / 1000.0,
+                "name": span.name,
+                "cat": span.component,
+                "args": args,
+            }
+        )
+
+    return _compact({"displayTimeUnit": "ns", "traceEvents": events})
+
+
+# -- Prometheus text exposition -----------------------------------------------
+
+
+def _sanitize(name: str) -> str:
+    return _NAME_RE.sub("_", name)
+
+
+def _fmt_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_text(labels: _t.Iterable[tuple[str, str]]) -> str:
+    parts = [f'{_sanitize(k)}="{v}"' for k, v in labels]
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(metrics: "MetricsRegistry") -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for mtype, name, labels, value in metrics.collect():
+        clean = _sanitize(name)
+        if clean not in typed:
+            typed.add(clean)
+            lines.append(f"# TYPE {clean} {mtype}")
+        lines.append(f"{clean}{_label_text(labels)} {_fmt_value(value)}")
+    for name, labels, hist in metrics.histograms():
+        clean = _sanitize(name)
+        if clean not in typed:
+            typed.add(clean)
+            lines.append(f"# TYPE {clean} summary")
+        count = len(hist)
+        if count:
+            for q, qv in zip(_SUMMARY_QUANTILES, hist.percentile_many(_SUMMARY_QUANTILES)):
+                qlabels = (*labels, ("quantile", str(q)))
+                lines.append(f"{clean}{_label_text(qlabels)} {_fmt_value(qv)}")
+        lines.append(f"{clean}_count{_label_text(labels)} {count}")
+        total = hist.mean() * count if count else 0.0
+        lines.append(f"{clean}_sum{_label_text(labels)} {_fmt_value(total)}")
+    return "\n".join(lines) + "\n"
+
+
+# -- time series --------------------------------------------------------------
+
+
+def timeseries_csv(metrics: "MetricsRegistry") -> str:
+    """Windowed snapshots as CSV rows."""
+    lines = ["engine,time_ns,name,labels,value"]
+    for sample in metrics.series:
+        lines.append(
+            f"{sample.engine_index},{sample.time_ns},{sample.name},"
+            f"{sample.label_text()},{_fmt_value(sample.value)}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def timeseries_json(metrics: "MetricsRegistry") -> str:
+    """Windowed snapshots as a JSON array."""
+    rows = [
+        {
+            "engine": sample.engine_index,
+            "time_ns": sample.time_ns,
+            "name": sample.name,
+            "labels": dict(sample.labels),
+            "value": sample.value,
+        }
+        for sample in metrics.series
+    ]
+    return _compact(rows)
+
+
+# -- span dump ----------------------------------------------------------------
+
+
+def spans_json(obs: "Observability") -> str:
+    """Every span as plain JSON (the ``repro obs`` CLI's input)."""
+    return _compact({"spans": [span.to_dict() for span in obs.recorder.spans]})
+
+
+# -- the dump directory -------------------------------------------------------
+
+#: filename -> renderer; the on-disk contract of ``--obs`` dumps
+DUMP_FILES: dict[str, _t.Callable[["Observability"], str]] = {
+    "trace.json": chrome_trace,
+    "metrics.prom": lambda obs: prometheus_text(obs.metrics),
+    "timeseries.csv": lambda obs: timeseries_csv(obs.metrics),
+    "timeseries.json": lambda obs: timeseries_json(obs.metrics),
+    "spans.json": spans_json,
+}
+
+
+def write_dump(obs: "Observability", out_dir: _t.Any) -> list[str]:
+    """Write every dump file into *out_dir*; returns the written paths."""
+    directory = pathlib.Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[str] = []
+    for filename, render in DUMP_FILES.items():
+        path = directory / filename
+        path.write_text(render(obs))
+        written.append(str(path))
+    return written

@@ -1,0 +1,172 @@
+"""The labeled metrics registry behind one scrape API.
+
+The simulator already collects plenty of numbers — per-component
+:class:`~repro.sim.stats.StatSet` groups, the transport's byte counters,
+:class:`~repro.core.coherence.protocol.CoherenceStats`, the
+:class:`~repro.core.profiling.AccessProfiler` — but each lives in its
+own silo with its own shape.  :class:`MetricsRegistry` federates them
+behind the usual counter/gauge/histogram trio with Prometheus-style
+labels, plus *sim-time-windowed snapshots*: while observability is
+installed, the registry samples every scrapable value each time an
+engine's clock crosses a window boundary, producing the CSV/JSON time
+series :mod:`repro.obs.export` dumps.
+
+Determinism: metric keys are ``(name, sorted(labels))`` tuples and every
+iteration is over sorted keys, so two same-seed runs scrape and render
+byte-identical output regardless of dict insertion history.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import ObservabilityError
+from repro.sim.stats import Histogram
+
+#: a metric identity: (name, ((label, value), ...)) with labels sorted
+MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def metric_key(name: str, labels: dict[str, str]) -> MetricKey:
+    return name, tuple(sorted(labels.items()))
+
+
+@dataclasses.dataclass(frozen=True)
+class Sample:
+    """One windowed observation of one metric."""
+
+    engine_index: int
+    time_ns: float
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+    def label_text(self) -> str:
+        return ";".join(f"{k}={v}" for k, v in self.labels)
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms with labels, plus federated
+    read-only sources scraped at snapshot time."""
+
+    def __init__(self) -> None:
+        self._counters: dict[MetricKey, float] = {}
+        self._gauges: dict[MetricKey, float] = {}
+        self._histograms: dict[MetricKey, Histogram] = {}
+        #: scrape-time adapters: each returns (name, labels, value) rows
+        self._sources: list[_t.Callable[[], _t.Iterable[tuple[str, dict[str, str], float]]]] = []
+        #: windowed snapshot rows, in emission order
+        self.series: list[Sample] = []
+
+    # -- the write API -------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ObservabilityError(f"counter {name} cannot decrease (got {amount})")
+        key = metric_key(name, labels)
+        self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        self._gauges[metric_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        key = metric_key(name, labels)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = Histogram()
+        hist.record(value)
+
+    def histogram(self, name: str, **labels: str) -> Histogram | None:
+        return self._histograms.get(metric_key(name, labels))
+
+    # -- federation ----------------------------------------------------------
+
+    def register_source(
+        self, fn: _t.Callable[[], _t.Iterable[tuple[str, dict[str, str], float]]]
+    ) -> None:
+        """Add a scrape-time adapter yielding (name, labels, value) rows."""
+        self._sources.append(fn)
+
+    def add_statset(self, prefix: str, statset: _t.Any, engine: _t.Any) -> None:
+        """Federate a :class:`~repro.sim.stats.StatSet`: its flattened
+        ``as_dict`` keys become ``repro_<prefix>_<key>`` gauges."""
+
+        def scrape() -> _t.Iterator[tuple[str, dict[str, str], float]]:
+            flat = statset.as_dict(engine.now)
+            for key in sorted(flat):
+                yield f"repro_{prefix}_{key}", {}, flat[key]
+
+        self._sources.append(scrape)
+
+    def add_transport(self, transport: _t.Any) -> None:
+        """Federate a :class:`~repro.fabric.transport.MemoryTransport`'s
+        issue/byte counters."""
+
+        def scrape() -> _t.Iterator[tuple[str, dict[str, str], float]]:
+            yield "repro_transport_reads_issued_total", {}, float(transport.reads_issued)
+            yield "repro_transport_writes_issued_total", {}, float(transport.writes_issued)
+            yield "repro_transport_bytes_read_total", {}, float(transport.bytes_read)
+            yield "repro_transport_bytes_written_total", {}, float(transport.bytes_written)
+
+        self._sources.append(scrape)
+
+    def add_coherence(self, stats: _t.Any) -> None:
+        """Federate :class:`~repro.core.coherence.protocol.CoherenceStats`."""
+
+        def scrape() -> _t.Iterator[tuple[str, dict[str, str], float]]:
+            for field in sorted(dataclasses.asdict(stats)):
+                yield (
+                    f"repro_coherence_{field}_total",
+                    {},
+                    float(getattr(stats, field)),
+                )
+
+        self._sources.append(scrape)
+
+    def add_profiler(self, profiler: _t.Any) -> None:
+        """Federate the :class:`~repro.core.profiling.AccessProfiler`."""
+
+        def scrape() -> _t.Iterator[tuple[str, dict[str, str], float]]:
+            yield "repro_profiler_samples_total", {}, float(profiler.samples_taken)
+            yield "repro_profiler_epoch", {}, float(profiler.epoch)
+            remote = profiler.remote_bytes_by_extent()
+            total = sum(sum(c.values()) for c in remote.values())
+            yield "repro_profiler_remote_bytes", {}, float(total)
+
+        self._sources.append(scrape)
+
+    # -- scraping ------------------------------------------------------------
+
+    def collect(self) -> list[tuple[str, str, tuple[tuple[str, str], ...], float]]:
+        """Every current scalar value as ``(type, name, labels, value)``
+        rows, deterministically ordered."""
+        rows: list[tuple[str, str, tuple[tuple[str, str], ...], float]] = []
+        for (name, labels), value in self._counters.items():
+            rows.append(("counter", name, labels, value))
+        for (name, labels), value in self._gauges.items():
+            rows.append(("gauge", name, labels, value))
+        for fn in self._sources:
+            for name, labeldict, value in fn():
+                rows.append(("gauge", name, tuple(sorted(labeldict.items())), value))
+        rows.sort(key=lambda r: (r[1], r[2], r[0]))
+        return rows
+
+    def histograms(self) -> list[tuple[str, tuple[tuple[str, str], ...], Histogram]]:
+        """Every histogram, deterministically ordered."""
+        out = [(name, labels, hist) for (name, labels), hist in self._histograms.items()]
+        out.sort(key=lambda r: (r[0], r[1]))
+        return out
+
+    def snapshot(self, engine_index: int, when: float) -> None:
+        """Append one windowed sample of every scalar to the series."""
+        for _type, name, labels, value in self.collect():
+            self.series.append(
+                Sample(
+                    engine_index=engine_index,
+                    time_ns=when,
+                    name=name,
+                    labels=labels,
+                    value=value,
+                )
+            )

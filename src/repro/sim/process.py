@@ -30,13 +30,18 @@ class Interrupted(Exception):
 class Process(Event):
     """A running generator on the simulation timeline."""
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "_obs_scope")
 
     #: installed by repro.check.races.RaceSanitizer to observe process
     #: lifecycle (fork/join/suspend edges for vector clocks and the
     #: wait-for graph).  None = hooks disabled; the hot path then pays
     #: only one class-attribute load + ``is None`` test per resume.
     _monitor: _t.ClassVar[_t.Any] = None
+
+    #: installed by repro.obs.Observability: the same lifecycle protocol,
+    #: used to open/close process spans and switch the active span scope
+    #: on every resume/suspend.  None = tracing disabled.
+    _obs: _t.ClassVar[_t.Any] = None
 
     def __init__(self, engine: "Engine", generator: _t.Generator, name: str = "") -> None:
         if not hasattr(generator, "send"):
@@ -47,9 +52,14 @@ class Process(Event):
         super().__init__(engine, name=name or getattr(generator, "__name__", "process"))
         self._generator = generator
         self._waiting_on: Event | None = None
+        #: stack of spans opened inside this process (managed by repro.obs)
+        self._obs_scope: list | None = None
         monitor = Process._monitor
         if monitor is not None:
             monitor.on_create(self)
+        obs = Process._obs
+        if obs is not None:
+            obs.on_create(self)
         # Kick off the process via an immediately-scheduled init event.
         init = Event(engine, name=f"init:{self.name}")
         init.callbacks.append(self._resume)
@@ -88,6 +98,9 @@ class Process(Event):
         monitor = Process._monitor
         if monitor is not None:
             monitor.on_resume(self, event)
+        obs = Process._obs
+        if obs is not None:
+            obs.on_resume(self, event)
         self._waiting_on = None
         try:
             if event._ok:
@@ -99,6 +112,8 @@ class Process(Event):
             self.succeed(stop.value)
             if monitor is not None:
                 monitor.on_finish(self)
+            if obs is not None:
+                obs.on_finish(self)
             return
         except BaseException as exc:
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):  # pragma: no cover
@@ -106,6 +121,8 @@ class Process(Event):
             self.fail(exc)
             if monitor is not None:
                 monitor.on_finish(self)
+            if obs is not None:
+                obs.on_finish(self)
             return
 
         if not isinstance(target, Event):
@@ -122,6 +139,8 @@ class Process(Event):
                 self.fail(inner)
             if monitor is not None:
                 monitor.on_finish(self)
+            if obs is not None:
+                obs.on_finish(self)
             return
 
         if target.processed:
@@ -136,9 +155,13 @@ class Process(Event):
             self.engine._schedule(relay, delay=0.0)
             if monitor is not None:
                 monitor.on_suspend(self, target)
+            if obs is not None:
+                obs.on_suspend(self, target)
         else:
             self._waiting_on = target
             assert target.callbacks is not None
             target.callbacks.append(self._resume)
             if monitor is not None:
                 monitor.on_suspend(self, target)
+            if obs is not None:
+                obs.on_suspend(self, target)

@@ -117,13 +117,8 @@ class Histogram:
         self._ensure_sorted()
         return self._samples[-1]
 
-    def quantile(self, q: float) -> float:
-        """Linear-interpolated quantile, q in [0, 1]."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile {q} outside [0, 1]")
-        if not self._samples:
-            return math.nan
-        self._ensure_sorted()
+    def _interpolate(self, q: float) -> float:
+        """Linear interpolation into the (already sorted) samples."""
         pos = q * (len(self._samples) - 1)
         lo = int(pos)
         hi = min(lo + 1, len(self._samples) - 1)
@@ -131,6 +126,30 @@ class Histogram:
         lo_val = self._samples[lo]
         # delta form is exact when neighbors are equal (no float drift)
         return lo_val + (self._samples[hi] - lo_val) * frac
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile, q in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self._samples:
+            return math.nan
+        self._ensure_sorted()
+        return self._interpolate(q)
+
+    def percentile_many(self, qs: _t.Sequence[float]) -> list[float]:
+        """Many quantiles from one sort pass.
+
+        Equivalent to ``[h.quantile(q) for q in qs]`` but pays the sort
+        (and its lazy-dirty check) once, which matters when reports ask
+        for p50/p90/p99/max in a row over large sample sets.
+        """
+        for q in qs:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self._samples:
+            return [math.nan] * len(qs)
+        self._ensure_sorted()
+        return [self._interpolate(q) for q in qs]
 
     def merge(self, other: "Histogram") -> "Histogram":
         """Fold *other*'s samples into this histogram and return self.
@@ -187,10 +206,11 @@ class StatSet:
                 out[f"{key}.last"] = collector.current
             elif isinstance(collector, Histogram):
                 if len(collector):
+                    p50, p99 = collector.percentile_many((0.5, 0.99))
                     out[f"{key}.mean"] = collector.mean()
                     out[f"{key}.min"] = collector.minimum()
-                    out[f"{key}.p50"] = collector.quantile(0.5)
-                    out[f"{key}.p99"] = collector.quantile(0.99)
+                    out[f"{key}.p50"] = p50
+                    out[f"{key}.p99"] = p99
                     out[f"{key}.max"] = collector.maximum()
                     out[f"{key}.count"] = float(len(collector))
         return out

@@ -45,9 +45,26 @@ class Tracer:
         return "*" in self._enabled or kind in self._enabled
 
     def emit(self, time: float, component: str, kind: str, **payload: _t.Any) -> None:
-        """Record one trace line if *kind* is enabled."""
+        """Record one trace line if *kind* is enabled.
+
+        The keyword-argument payload dict is built by the *caller* even
+        when the kind is disabled — hot paths should either guard with
+        :meth:`wants` or use :meth:`emit_lazy`.
+        """
         if self.wants(kind):
             self.records.append(TraceRecord(time, component, kind, payload))
+
+    def emit_lazy(
+        self,
+        time: float,
+        component: str,
+        kind: str,
+        payload_fn: _t.Callable[[], dict[str, _t.Any]],
+    ) -> None:
+        """Like :meth:`emit`, but the payload is only built when *kind*
+        is enabled — zero dict/format cost on disabled categories."""
+        if self.wants(kind):
+            self.records.append(TraceRecord(time, component, kind, payload_fn()))
 
     def of_kind(self, kind: str) -> list[TraceRecord]:
         """All records of one kind, in emission order."""
@@ -63,14 +80,17 @@ class Tracer:
         """
 
         def sink(_engine: _t.Any, when: float, seq: int, event: _t.Any) -> None:
-            self.emit(
-                when,
-                "engine",
-                kind,
-                seq=seq,
-                event=type(event).__name__,
-                name=getattr(event, "name", ""),
-            )
+            # guard first: the payload dict is per-event, so building it
+            # for a disabled kind would tax every dispatch
+            if self.wants(kind):
+                self.emit(
+                    when,
+                    "engine",
+                    kind,
+                    seq=seq,
+                    event=type(event).__name__,
+                    name=getattr(event, "name", ""),
+                )
 
         engine.add_event_sink(sink)
 

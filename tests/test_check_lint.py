@@ -105,7 +105,7 @@ def test_lmp003_allows_sorted_iteration():
 
 
 def test_lmp003_autofix_wraps_sorted():
-    source = "victims = {1, 2}\nfor v in victims:\n    print(v)\n"
+    source = "victims = {1, 2}\nfor v in victims:\n    flush(v)\n"
     report = lint_source(source, SIM_PATH)
     fixed, applied = apply_fixes(source, report.violations)
     assert applied == 1
@@ -208,9 +208,9 @@ def test_lmp003_dict_view_autofix_idempotent_roundtrip(tmp_path):
         "def sweep():\n"
         "    caches = dict()\n"
         "    for host in caches:\n"
-        "        print(host)\n"
+        "        flush(host)\n"
         "    for val in caches.values():\n"
-        "        print(val)\n"
+        "        flush(val)\n"
     )
     assert fix_file(target) == 2
     fixed = target.read_text()
@@ -295,16 +295,46 @@ def test_lmp008_ignores_try_without_held_resource():
     assert "LMP008" not in rule_ids(source)
 
 
+# --- LMP009 bare print in library code -------------------------------------------
+
+
+def test_lmp009_flags_bare_print_in_library_code():
+    assert "LMP009" in rule_ids("def report(x):\n    print(x)\n")
+
+
+def test_lmp009_applies_outside_scoped_subsystems():
+    path = pathlib.Path("src/repro/obs/tracing.py")
+    assert "LMP009" in rule_ids("print('debug')\n", path)
+
+
+def test_lmp009_exempts_cli_runner_and_report():
+    for exempt in (
+        "src/repro/cli.py",
+        "src/repro/check/runner.py",
+        "src/repro/analysis/report.py",
+    ):
+        assert rule_ids("print('table')\n", pathlib.Path(exempt)) == []
+
+
+def test_lmp009_noqa_suppresses():
+    assert rule_ids("print('x')  # noqa: LMP009 - intentional\n") == []
+
+
+def test_lmp009_ignores_non_name_print():
+    # a method named print on some object is not the builtin
+    assert "LMP009" not in rule_ids("device.print('x')\n")
+
+
 # --- noqa suppressions ----------------------------------------------------------
 
 
 def test_noqa_suppresses_named_rule_on_its_line():
-    source = "for h in {3, 1, 2}:  # noqa: LMP003 - order is irrelevant here\n    print(h)\n"
+    source = "for h in {3, 1, 2}:  # noqa: LMP003 - order is irrelevant here\n    flush(h)\n"
     assert rule_ids(source) == []
 
 
 def test_noqa_bare_suppresses_everything_on_the_line():
-    source = "for h in {3, 1, 2}:  # noqa\n    print(h)\n"
+    source = "for h in {3, 1, 2}:  # noqa\n    flush(h)\n"
     assert rule_ids(source) == []
 
 

@@ -29,7 +29,7 @@ from repro.sim.engine import Engine
 from repro.sim.resources import Mutex
 from repro.units import mib
 
-BAD_SIM_SOURCE = "hosts = {2, 1}\nfor h in hosts:\n    print(h)\n"
+BAD_SIM_SOURCE = "hosts = {2, 1}\nfor h in hosts:\n    flush(h)\n"
 
 
 @pytest.fixture

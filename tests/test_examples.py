@@ -26,6 +26,7 @@ EXAMPLES: dict[str, dict[str, object]] = {
     "flexible_ratio.py": {"WORKING_SET": gib(80)},
     "locality_balancing.py": {"TABLE": gib(1)},
     "near_memory_analytics.py": {"LEDGER": gib(4)},
+    "observability_tour.py": {"OUT_DIR": None, "TENANTS": 3, "OPS_PER_TENANT": 8},
     "quickstart.py": {"VECTOR": gib(1)},
     "software_vs_hardware.py": {},
 }

@@ -179,7 +179,7 @@ def test_cli_check_lints_a_tree(tmp_path: pathlib.Path):
 
     bad = tmp_path / "repro" / "sim" / "bad.py"
     bad.parent.mkdir(parents=True)
-    bad.write_text("hosts = {2, 1}\nfor h in hosts:\n    print(h)\n")
+    bad.write_text("hosts = {2, 1}\nfor h in hosts:\n    flush(h)\n")
     out = io.StringIO()
     assert run_check([tmp_path], stream=out) == 1
     assert "LMP003" in out.getvalue()
