@@ -12,22 +12,38 @@ lean on:
   shadow shared-region accesses with vector clocks and watch the
   event heap for wait-for cycles,
 * the determinism harness (:mod:`repro.check.determinism`) reruns
-  scenarios and diffs their event streams byte for byte.
+  scenarios and diffs their event streams byte for byte,
+* the explicit-state model checker (:mod:`repro.check.model`)
+  exhaustively explores abstract specs of the pool's protocols
+  (coherence, leases, admission, recovery) and replays every
+  counterexample deterministically through the real DES.
 
 Entry point: ``python -m repro check [--fix] [--determinism ...]
-[--races ...] [--format text|json|github] [path...]``.
+[--races ...] [--model ... [--scope smoke|deep] [--mutants]]
+[--format text|json|github] [path...]``.
 """
 
 from repro.check.determinism import SCENARIOS, DeterminismHarness, DeterminismReport
 from repro.check.lint import FileReport, apply_fixes, fix_file, lint_file, lint_paths, lint_source
+from repro.check.model import (
+    ExplorationResult,
+    Explorer,
+    ModelSpec,
+    ModelViolation,
+    ReplayResult,
+    build_spec,
+    checked_replay,
+)
 from repro.check.races import FrameAccess, LocksetReport, RaceReport, RaceSanitizer
 from repro.check.rules import ALL_RULES, LintContext, Rule, Violation
 from repro.check.runner import (
     EXIT_CLEAN,
     EXIT_FINDINGS,
     EXIT_INTERNAL,
+    EXIT_MODEL,
     EXIT_USAGE,
     run_check,
+    run_model_checks,
 )
 from repro.check.sanitizers import AllocSanitizer, CoherenceSanitizer
 
@@ -40,7 +56,13 @@ __all__ = [
     "EXIT_CLEAN",
     "EXIT_FINDINGS",
     "EXIT_INTERNAL",
+    "EXIT_MODEL",
     "EXIT_USAGE",
+    "ExplorationResult",
+    "Explorer",
+    "ModelSpec",
+    "ModelViolation",
+    "ReplayResult",
     "FileReport",
     "FrameAccess",
     "LintContext",
@@ -51,9 +73,12 @@ __all__ = [
     "SCENARIOS",
     "Violation",
     "apply_fixes",
+    "build_spec",
+    "checked_replay",
     "fix_file",
     "lint_file",
     "lint_paths",
     "lint_source",
     "run_check",
+    "run_model_checks",
 ]

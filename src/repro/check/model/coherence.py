@@ -1,0 +1,370 @@
+"""Spec 1: the MSI coherence directory over N lines × M sharers.
+
+Abstracts :class:`~repro.core.coherence.protocol.CoherenceDirectory` to
+its protocol skeleton — the directory (owner + sharer set per line),
+the authoritative values, and each host's cached copy — with timing,
+queueing, and snoop-filter capacity erased.  Each host gets a small
+budget of load/store/rmw operations (evictions are free environment
+moves), which bounds the state space while covering every interleaving
+of the protocol's transitions at that scope.
+
+Checked invariants:
+
+* **SWMR** — a line with an M owner has exactly that one cached copy.
+* **directory agreement** — a host caches a line iff the directory
+  tracks it (as owner or sharer).
+* **no stale read** — every cached copy equals the authoritative value,
+  so a local cache hit can never return stale data.
+
+The replay adapter drives a real :class:`CoherenceDirectory` through
+the counterexample and cross-checks
+:meth:`~repro.core.coherence.protocol.CoherenceDirectory.entry_view`,
+``peek`` and ``cached_lines`` after every action.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.check.model.replay import ReplayRecorder, ReplayResult
+from repro.check.model.spec import Action, Invariant, ModelSpec, State
+from repro.errors import ModelCheckError
+
+#: store/rmw values cycle through a tiny domain to bound the state space
+VALUE_MOD = 3
+
+
+@dataclasses.dataclass(frozen=True)
+class CoherenceState:
+    """Canonical protocol configuration (all fields nested tuples)."""
+
+    #: per line: M owner or None
+    owners: tuple[int | None, ...]
+    #: per line: sorted sharer hosts
+    sharers: tuple[tuple[int, ...], ...]
+    #: per line: authoritative value at the home
+    values: tuple[int, ...]
+    #: per host, per line: the value the host's cache holds (None = not cached)
+    caches: tuple[tuple[int | None, ...], ...]
+    #: per host: load/store/rmw operations remaining
+    budget: tuple[int, ...]
+
+
+class CoherenceSpec(ModelSpec):
+    """Model of ``CoherenceDirectory`` load / store / rmw / evict."""
+
+    name = "coherence"
+    description = "MSI directory: SWMR, directory agreement, no stale reads"
+
+    def __init__(self, hosts: int = 2, lines: int = 2, ops_per_host: int = 3) -> None:
+        if hosts < 1 or lines < 1 or ops_per_host < 1:
+            raise ModelCheckError(
+                f"coherence scope must be positive, got {hosts=} {lines=} {ops_per_host=}"
+            )
+        self.hosts = hosts
+        self.lines = lines
+        self.ops_per_host = ops_per_host
+
+    @classmethod
+    def at_scope(cls, scope: str) -> "CoherenceSpec":
+        if scope == "smoke":
+            return cls(hosts=2, lines=2, ops_per_host=3)
+        if scope == "deep":
+            return cls(hosts=3, lines=2, ops_per_host=4)
+        raise ModelCheckError(f"unknown scope {scope!r} (known: smoke, deep)")
+
+    # -- the state machine ---------------------------------------------------
+
+    def initial_states(self) -> _t.Sequence[State]:
+        return [
+            CoherenceState(
+                owners=(None,) * self.lines,
+                sharers=((),) * self.lines,
+                values=(0,) * self.lines,
+                caches=((None,) * self.lines,) * self.hosts,
+                budget=(self.ops_per_host,) * self.hosts,
+            )
+        ]
+
+    def enabled(self, state: State) -> _t.Sequence[Action]:
+        s = _t.cast(CoherenceState, state)
+        actions: list[Action] = []
+        for host in range(self.hosts):
+            for line in range(self.lines):
+                if s.budget[host] > 0:
+                    actions.append(Action("load", (host, line)))
+                    actions.append(Action("store", (host, line)))
+                    actions.append(Action("rmw", (host, line)))
+                if s.caches[host][line] is not None:
+                    actions.append(Action("evict", (host, line)))
+        return actions
+
+    def apply(self, state: State, action: Action) -> State:
+        s = _t.cast(CoherenceState, state)
+        host, line = int(action.payload[0]), int(action.payload[1])
+        if action.kind == "load":
+            return self._apply_load(s, host, line)
+        if action.kind == "store":
+            return self._apply_store(s, host, line)
+        if action.kind == "rmw":
+            return self._apply_rmw(s, host, line)
+        if action.kind == "evict":
+            return self._apply_evict(s, host, line)
+        raise ModelCheckError(f"coherence: unknown action {action.render()}")
+
+    # Mutants override the keyword defaults below to seed known-bad
+    # protocol edits; the base spec mirrors the implementation exactly.
+
+    def _apply_load(
+        self, s: CoherenceState, host: int, line: int, downgrade_owner: bool = True
+    ) -> CoherenceState:
+        budget = _dec(s.budget, host)
+        owner = s.owners[line]
+        if s.caches[host][line] is not None and owner in (None, host):
+            return dataclasses.replace(s, budget=budget)  # cache hit
+        owners, sharers, caches = list(s.owners), list(s.sharers), _rows(s.caches)
+        if owner is not None and owner != host and downgrade_owner:
+            # downgrade M -> invalid with writeback, exactly like the impl
+            caches[owner][line] = None
+            sharers[line] = _without(sharers[line], owner)
+            owners[line] = None
+        sharers[line] = _with(sharers[line], host)
+        caches[host][line] = s.values[line]
+        return CoherenceState(
+            owners=tuple(owners),
+            sharers=tuple(sharers),
+            values=s.values,
+            caches=_freeze(caches),
+            budget=budget,
+        )
+
+    def _apply_store(
+        self, s: CoherenceState, host: int, line: int, invalidate: bool = True
+    ) -> CoherenceState:
+        budget = _dec(s.budget, host)
+        new_value = (s.values[line] + 1) % VALUE_MOD
+        values = _set(s.values, line, new_value)
+        caches = _rows(s.caches)
+        if s.owners[line] == host:  # M hit: write locally
+            caches[host][line] = new_value
+            return dataclasses.replace(s, values=values, caches=_freeze(caches), budget=budget)
+        if invalidate:
+            victims = set(s.sharers[line])
+            if s.owners[line] is not None:
+                victims.add(_t.cast(int, s.owners[line]))
+            for victim in sorted(victims - {host}):
+                caches[victim][line] = None
+        caches[host][line] = new_value
+        return CoherenceState(
+            owners=_set(s.owners, line, host),
+            sharers=_set(s.sharers, line, (host,)),
+            values=values,
+            caches=_freeze(caches),
+            budget=budget,
+        )
+
+    def _apply_rmw(
+        self, s: CoherenceState, host: int, line: int, invalidate: bool = True
+    ) -> CoherenceState:
+        budget = _dec(s.budget, host)
+        caches = _rows(s.caches)
+        if invalidate:  # atomics execute at the home: every copy dies
+            for h in range(self.hosts):
+                caches[h][line] = None
+        return CoherenceState(
+            owners=_set(s.owners, line, None),
+            sharers=_set(s.sharers, line, ()),
+            values=_set(s.values, line, (s.values[line] + 1) % VALUE_MOD),
+            caches=_freeze(caches),
+            budget=budget,
+        )
+
+    def _apply_evict(
+        self, s: CoherenceState, host: int, line: int, update_directory: bool = True
+    ) -> CoherenceState:
+        caches = _rows(s.caches)
+        caches[host][line] = None
+        owners, sharers = list(s.owners), list(s.sharers)
+        if update_directory:
+            sharers[line] = _without(sharers[line], host)
+            if owners[line] == host:
+                owners[line] = None
+        return CoherenceState(
+            owners=tuple(owners),
+            sharers=tuple(sharers),
+            values=s.values,
+            caches=_freeze(caches),
+            budget=s.budget,
+        )
+
+    # -- properties ----------------------------------------------------------
+
+    def invariants(self) -> _t.Sequence[Invariant]:
+        return (
+            Invariant("swmr", self._check_swmr),
+            Invariant("directory-agreement", self._check_agreement),
+            Invariant("no-stale-read", self._check_stale),
+        )
+
+    def _check_swmr(self, state: State) -> str | None:
+        s = _t.cast(CoherenceState, state)
+        for line in range(self.lines):
+            owner = s.owners[line]
+            if owner is None:
+                continue
+            holders = [h for h in range(self.hosts) if s.caches[h][line] is not None]
+            if holders != [owner]:
+                return (
+                    f"line {line}: M owner {owner} coexists with cached "
+                    f"copies at hosts {holders}"
+                )
+        return None
+
+    def _check_agreement(self, state: State) -> str | None:
+        s = _t.cast(CoherenceState, state)
+        for line in range(self.lines):
+            for host in range(self.hosts):
+                cached = s.caches[host][line] is not None
+                tracked = host in s.sharers[line] or s.owners[line] == host
+                if cached != tracked:
+                    how = "cached but untracked" if cached else "tracked but not cached"
+                    return f"line {line}, host {host}: {how} by the directory"
+        return None
+
+    def _check_stale(self, state: State) -> str | None:
+        s = _t.cast(CoherenceState, state)
+        for line in range(self.lines):
+            for host in range(self.hosts):
+                held = s.caches[host][line]
+                if held is not None and held != s.values[line]:
+                    return (
+                        f"line {line}: host {host} caches stale value {held}, "
+                        f"authoritative value is {s.values[line]} — a local "
+                        "hit would return stale data"
+                    )
+        return None
+
+    def independent(self, a: Action, b: Action) -> bool:
+        # ops of different hosts on different lines touch disjoint state
+        # (line entry + that host's cache row and budget) and commute
+        return a.payload[0] != b.payload[0] and a.payload[1] != b.payload[1]
+
+    def describe_state(self, state: State) -> str:
+        s = _t.cast(CoherenceState, state)
+        parts = []
+        for line in range(self.lines):
+            held = "/".join(
+                f"h{h}={'-' if s.caches[h][line] is None else s.caches[h][line]}"
+                for h in range(self.hosts)
+            )
+            parts.append(
+                f"line{line}[owner={s.owners[line]} sharers={s.sharers[line]} "
+                f"value={s.values[line]} {held}]"
+            )
+        parts.append(f"budget={s.budget}")
+        return " ".join(parts)
+
+    # -- replay through the real directory ------------------------------------
+
+    def replay(self, trace: _t.Sequence[Action]) -> ReplayResult:
+        from repro.core.coherence.protocol import CoherenceDirectory
+        from repro.topology.builder import build_logical
+
+        deployment = build_logical("link0", server_count=self.hosts)
+        engine = deployment.engine
+        directory = CoherenceDirectory(
+            deployment,
+            region_bytes=self.lines * CoherenceDirectory.LINE_BYTES,
+            snoop_filter_lines=64,  # large: no capacity evictions interfere
+        )
+        recorder = ReplayRecorder(self.name)
+        state = _t.cast(CoherenceState, self.initial_states()[0])
+        for action in trace:
+            if action not in self.enabled(state):
+                raise ModelCheckError(
+                    f"coherence replay: {action.render()} is not enabled in "
+                    f"the model at {self.describe_state(state)}"
+                )
+            succ = _t.cast(CoherenceState, self.apply(state, action))
+            host, line = int(action.payload[0]), int(action.payload[1])
+            if action.kind == "load":
+                value = engine.run(directory.load(host, line))
+                recorder.expect(
+                    value == state.values[line],
+                    f"load returned {value}, model expected {state.values[line]}",
+                )
+            elif action.kind == "store":
+                engine.run(directory.store(host, line, succ.values[line]))
+            elif action.kind == "rmw":
+                old, new = engine.run(
+                    directory.atomic_rmw(host, line, lambda v: (v + 1) % VALUE_MOD)
+                )
+                recorder.expect(
+                    (old, new) == (state.values[line], succ.values[line]),
+                    f"rmw returned {(old, new)}, model expected "
+                    f"{(state.values[line], succ.values[line])}",
+                )
+            else:  # evict
+                engine.run(directory.evict(host, line))
+            self._cross_check(directory, succ, recorder)
+            recorder.commit(action)
+            if recorder.steps[-1].ok is False:
+                break  # first divergence is the verdict; stop early
+            state = succ
+        return recorder.result()
+
+    def _cross_check(
+        self, directory: _t.Any, s: CoherenceState, recorder: ReplayRecorder
+    ) -> None:
+        for line in range(self.lines):
+            expected = (s.owners[line], s.sharers[line])
+            concrete = directory.entry_view(line)
+            recorder.expect(
+                concrete == expected,
+                f"line {line}: directory is {concrete}, model says {expected}",
+            )
+            recorder.expect(
+                directory.peek(line) == s.values[line],
+                f"line {line}: value is {directory.peek(line)}, "
+                f"model says {s.values[line]}",
+            )
+            for host in range(self.hosts):
+                cached = line in directory.cached_lines(host)
+                recorder.expect(
+                    cached == (s.caches[host][line] is not None),
+                    f"line {line}: host {host} cached={cached}, model says "
+                    f"{s.caches[host][line] is not None}",
+                )
+
+
+# -- small tuple-surgery helpers (canonical states stay tuples) ---------------
+
+
+def _dec(budget: tuple[int, ...], host: int) -> tuple[int, ...]:
+    return budget[:host] + (budget[host] - 1,) + budget[host + 1 :]
+
+
+_T = _t.TypeVar("_T")
+
+
+def _set(row: tuple[_T, ...], index: int, value: _T) -> tuple[_T, ...]:
+    return row[:index] + (value,) + row[index + 1 :]
+
+
+def _with(sharers: tuple[int, ...], host: int) -> tuple[int, ...]:
+    return tuple(sorted(set(sharers) | {host}))
+
+
+def _without(sharers: tuple[int, ...], host: int) -> tuple[int, ...]:
+    return tuple(h for h in sharers if h != host)
+
+
+def _rows(
+    caches: tuple[tuple[int | None, ...], ...]
+) -> list[list[int | None]]:
+    return [list(row) for row in caches]
+
+
+def _freeze(rows: list[list[int | None]]) -> tuple[tuple[int | None, ...], ...]:
+    return tuple(tuple(row) for row in rows)

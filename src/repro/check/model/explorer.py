@@ -1,0 +1,496 @@
+"""Explicit-state exploration: BFS/DFS, sleep sets, invariants, lassos.
+
+The explorer enumerates every state a :class:`~repro.check.model.spec.
+ModelSpec` can reach inside the configured scope, checking invariants
+on each new state, flagging terminal states that are not legal stopping
+points as deadlocks, and — after the state graph is complete — hunting
+*fair lassos* for the spec's liveness properties (a reachable cycle on
+which an obligation stays pending forever despite weak fairness).
+
+Reduction: *sleep sets* (Godefroid).  A sleep set prunes transitions
+whose interleaving is provably redundant with an already-explored
+independent action; every reachable **state** is still visited, so
+invariant and deadlock checking stay exact — the reduction only saves
+transitions.  Because pruned edges could hide cycles, sleep sets are
+disabled automatically while liveness properties are being checked.
+
+Counterexamples: BFS parent links give a shortest trace to any
+violating state; :func:`minimize_trace` then greedily deletes actions
+that are not needed to re-derive the violation, so the replayed DES
+repro is as small as the protocol allows.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing as _t
+
+from repro.check.model.spec import Action, Invariant, LivenessProperty, ModelSpec, State
+from repro.errors import ModelCheckError
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelViolation:
+    """One property violation with its (minimized) counterexample."""
+
+    kind: str  # "invariant" | "deadlock" | "final" | "liveness"
+    property: str
+    message: str
+    trace: tuple[Action, ...]
+    state: str  # rendered violating state
+    cycle: tuple[Action, ...] = ()  # liveness only: the unfair-forever loop
+
+    def render(self) -> str:
+        lines = [f"{self.kind} violation: {self.property}", f"  {self.message}"]
+        if self.trace:
+            lines.append(f"  trace ({len(self.trace)} action(s)):")
+            lines.extend(f"    {i + 1}. {a.render()}" for i, a in enumerate(self.trace))
+        else:
+            lines.append("  trace: <initial state>")
+        if self.cycle:
+            lines.append(f"  then forever ({len(self.cycle)} action(s)):")
+            lines.extend(f"    ... {a.render()}" for a in self.cycle)
+        lines.append(f"  state: {self.state}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, _t.Any]:
+        return {
+            "kind": self.kind,
+            "property": self.property,
+            "message": self.message,
+            "trace": [a.render() for a in self.trace],
+            "cycle": [a.render() for a in self.cycle],
+            "state": self.state,
+        }
+
+
+@dataclasses.dataclass
+class ExplorationResult:
+    """Outcome of exhaustively exploring one spec."""
+
+    spec_name: str
+    states: int
+    transitions: int
+    depth: int
+    complete: bool  # False when a state or depth cap truncated the search
+    por_used: bool
+    liveness_checked: bool
+    violations: list[ModelViolation]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        scope = "exhaustively explored" if self.complete else "explored (TRUNCATED)"
+        summary = (
+            f"{self.spec_name}: {scope} {self.states} state(s) / "
+            f"{self.transitions} transition(s), depth {self.depth}"
+            f"{', sleep-set POR' if self.por_used else ''}"
+        )
+        if self.ok:
+            checks = "invariants + deadlock"
+            if self.liveness_checked:
+                checks += " + liveness"
+            return f"{summary} — {checks} hold"
+        parts = [f"{summary} — {len(self.violations)} violation(s)"]
+        parts.extend(v.render() for v in self.violations)
+        return "\n".join(parts)
+
+
+class Explorer:
+    """Explores one spec's state space; see the module docstring."""
+
+    def __init__(
+        self,
+        spec: ModelSpec,
+        max_depth: int | None = None,
+        max_states: int = 200_000,
+        por: bool = True,
+        strategy: str = "bfs",
+    ) -> None:
+        if strategy not in ("bfs", "dfs"):
+            raise ModelCheckError(f"unknown exploration strategy {strategy!r}")
+        if max_states < 1:
+            raise ModelCheckError(f"max_states must be >= 1, got {max_states}")
+        self.spec = spec
+        self.max_depth = max_depth
+        self.max_states = max_states
+        self.strategy = strategy
+        # pruned edges could hide liveness cycles: full graph when needed
+        self.por = por and not spec.liveness()
+        self._ids: dict[State, int] = {}
+        self._states: list[State] = []
+        self._depth: list[int] = []
+        self._parent: list[tuple[int, Action] | None] = []
+        self._sleep: list[frozenset[Action]] = []
+        self._explored: list[set[Action]] = []
+        self._edges: list[tuple[int, int, Action]] = []
+
+    # -- state bookkeeping ---------------------------------------------------
+
+    def _intern(self, state: State, depth: int, parent: tuple[int, Action] | None) -> int:
+        sid = self._ids.get(state)
+        if sid is None:
+            sid = len(self._states)
+            self._ids[state] = sid
+            self._states.append(state)
+            self._depth.append(depth)
+            self._parent.append(parent)
+            self._sleep.append(frozenset())
+            self._explored.append(set())
+        return sid
+
+    def _trace_to(self, sid: int) -> tuple[Action, ...]:
+        actions: list[Action] = []
+        cursor: int | None = sid
+        while cursor is not None:
+            link = self._parent[cursor]
+            if link is None:
+                cursor = None
+            else:
+                cursor, action = link
+                actions.append(action)
+        actions.reverse()
+        return tuple(actions)
+
+    # -- the search ----------------------------------------------------------
+
+    def run(self) -> ExplorationResult:
+        spec = self.spec
+        invariants = tuple(spec.invariants())
+        violations: list[ModelViolation] = []
+        transitions = 0
+        complete = True
+
+        frontier: collections.deque[int] = collections.deque()
+        for initial in spec.initial_states():
+            sid = self._intern(initial, 0, None)
+            bad = self._check_invariants(invariants, sid)
+            if bad is not None:
+                return self._result(transitions, True, [bad])
+            frontier.append(sid)
+
+        while frontier:
+            sid = frontier.popleft() if self.strategy == "bfs" else frontier.pop()
+            state = self._states[sid]
+            depth = self._depth[sid]
+            enabled = list(spec.enabled(state))
+            if not enabled:
+                terminal_bad = self._check_terminal(sid)
+                if terminal_bad is not None:
+                    return self._result(transitions, complete, [terminal_bad])
+                continue
+            if self.max_depth is not None and depth >= self.max_depth:
+                complete = False
+                continue
+            sleep = self._sleep[sid]
+            done_before: list[Action] = []
+            for action in enabled:
+                if action in self._explored[sid]:
+                    done_before.append(action)
+                    continue
+                if self.por and action in sleep:
+                    continue
+                self._explored[sid].add(action)
+                successor = spec.apply(state, action)
+                transitions += 1
+                child_sleep = frozenset(
+                    other
+                    for other in (set(sleep) | set(done_before))
+                    if spec.independent(action, other)
+                )
+                known = successor in self._ids
+                tid = self._intern(successor, depth + 1, (sid, action))
+                self._edges.append((sid, tid, action))
+                if not known:
+                    bad = self._check_invariants(invariants, tid)
+                    if bad is not None:
+                        return self._result(transitions, complete, [bad])
+                    if len(self._states) >= self.max_states:
+                        return self._result(transitions, False, violations)
+                    self._sleep[tid] = child_sleep
+                    frontier.append(tid)
+                elif self.por:
+                    # revisit with a smaller sleep set: wake the pruned
+                    # actions so no state's outgoing transitions are lost
+                    merged = self._sleep[tid] & child_sleep
+                    if merged != self._sleep[tid]:
+                        self._sleep[tid] = merged
+                        frontier.append(tid)
+                done_before.append(action)
+
+        liveness_checked = False
+        if complete:
+            for prop in spec.liveness():
+                liveness_checked = True
+                lasso = self._find_fair_lasso(prop)
+                if lasso is not None:
+                    violations.append(lasso)
+        return self._result(transitions, complete, violations, liveness_checked)
+
+    def _result(
+        self,
+        transitions: int,
+        complete: bool,
+        violations: list[ModelViolation],
+        liveness_checked: bool = False,
+    ) -> ExplorationResult:
+        return ExplorationResult(
+            spec_name=self.spec.name,
+            states=len(self._states),
+            transitions=transitions,
+            depth=max(self._depth, default=0),
+            complete=complete,
+            por_used=self.por,
+            liveness_checked=liveness_checked,
+            violations=violations,
+        )
+
+    # -- property checks -----------------------------------------------------
+
+    def _check_invariants(
+        self, invariants: tuple[Invariant, ...], sid: int
+    ) -> ModelViolation | None:
+        state = self._states[sid]
+        for invariant in invariants:
+            detail = invariant.check(state)
+            if detail is not None:
+                trace = minimize_trace(
+                    self.spec,
+                    self._initial_of(sid),
+                    self._trace_to(sid),
+                    lambda s, inv=invariant: inv.check(s) is not None,  # type: ignore[misc]
+                )
+                return ModelViolation(
+                    kind="invariant",
+                    property=invariant.name,
+                    message=detail,
+                    trace=trace,
+                    state=self.spec.describe_state(state),
+                )
+        return None
+
+    def _check_terminal(self, sid: int) -> ModelViolation | None:
+        state = self._states[sid]
+        if not self.spec.is_final(state):
+            trace = minimize_trace(
+                self.spec,
+                self._initial_of(sid),
+                self._trace_to(sid),
+                lambda s: not list(self.spec.enabled(s)) and not self.spec.is_final(s),
+            )
+            return ModelViolation(
+                kind="deadlock",
+                property="no-deadlock",
+                message="terminal state is not a legal stopping point",
+                trace=trace,
+                state=self.spec.describe_state(state),
+            )
+        for invariant in self.spec.final_invariants():
+            detail = invariant.check(state)
+            if detail is not None:
+                trace = minimize_trace(
+                    self.spec,
+                    self._initial_of(sid),
+                    self._trace_to(sid),
+                    lambda s, inv=invariant: (  # type: ignore[misc]
+                        not list(self.spec.enabled(s)) and inv.check(s) is not None
+                    ),
+                )
+                return ModelViolation(
+                    kind="final",
+                    property=invariant.name,
+                    message=detail,
+                    trace=trace,
+                    state=self.spec.describe_state(state),
+                )
+        return None
+
+    def _initial_of(self, sid: int) -> State:
+        cursor = sid
+        while self._parent[cursor] is not None:
+            link = self._parent[cursor]
+            assert link is not None
+            cursor = link[0]
+        return self._states[cursor]
+
+    # -- liveness: fair-lasso search over the explored graph -------------------
+
+    def _find_fair_lasso(self, prop: LivenessProperty) -> ModelViolation | None:
+        """A strongly connected pending-subgraph component is a
+        counterexample when every fair action kind continuously enabled
+        across it is taken inside it (weak fairness cannot escape)."""
+        pending = {
+            sid for sid, state in enumerate(self._states) if prop.pending(state)
+        }
+        if not pending:
+            return None
+        adjacency: dict[int, list[tuple[int, Action]]] = {sid: [] for sid in pending}
+        self_loops: set[int] = set()
+        for src, dst, action in self._edges:
+            if src in pending and dst in pending:
+                adjacency[src].append((dst, action))
+                if src == dst:
+                    self_loops.add(src)
+        for component in _tarjan_sccs(adjacency):
+            members = set(component)
+            if len(members) == 1 and next(iter(component)) not in self_loops:
+                continue  # a single node with no self-loop is not a cycle
+            taken = {
+                action.kind
+                for src, dst, action in self._edges
+                if src in members and dst in members
+            }
+            fair = True
+            for kind in sorted(prop.fair_kinds):
+                continuously_enabled = all(
+                    any(a.kind == kind for a in self.spec.enabled(self._states[sid]))
+                    for sid in sorted(members)
+                )
+                if continuously_enabled and kind not in taken:
+                    fair = False  # fairness would eventually fire this action
+                    break
+            if not fair:
+                continue
+            entry = min(sorted(members), key=lambda sid: self._depth[sid])
+            cycle = self._cycle_within(entry, members)
+            return ModelViolation(
+                kind="liveness",
+                property=prop.name,
+                message=(
+                    prop.description
+                    or f"obligation stays pending around a fair cycle of "
+                    f"{len(members)} state(s)"
+                ),
+                trace=self._trace_to(entry),
+                state=self.spec.describe_state(self._states[entry]),
+                cycle=cycle,
+            )
+        return None
+
+    def _cycle_within(self, entry: int, members: set[int]) -> tuple[Action, ...]:
+        """A shortest closed walk from *entry* back to itself inside the
+        component, for the counterexample report."""
+        adjacency: dict[int, list[tuple[int, Action]]] = {sid: [] for sid in members}
+        for src, dst, action in self._edges:
+            if src in members and dst in members:
+                adjacency[src].append((dst, action))
+        # BFS from entry's successors back to entry
+        best: tuple[Action, ...] | None = None
+        for first_dst, first_action in adjacency[entry]:
+            if first_dst == entry:
+                return (first_action,)
+            back: dict[int, tuple[int, Action]] = {}
+            queue: collections.deque[int] = collections.deque([first_dst])
+            seen = {first_dst}
+            while queue:
+                sid = queue.popleft()
+                if sid == entry:
+                    break
+                for dst, action in adjacency[sid]:
+                    if dst not in seen:
+                        seen.add(dst)
+                        back[dst] = (sid, action)
+                        queue.append(dst)
+            if entry in back or entry in seen:
+                walk: list[Action] = []
+                cursor = entry
+                while cursor != first_dst:
+                    cursor, action = back[cursor]
+                    walk.append(action)
+                walk.append(first_action)
+                walk.reverse()
+                candidate = tuple(walk)
+                if best is None or len(candidate) < len(best):
+                    best = candidate
+        return best or ()
+
+
+def _tarjan_sccs(
+    adjacency: dict[int, list[tuple[int, Action]]]
+) -> list[list[int]]:
+    """Iterative Tarjan: strongly connected components of *adjacency*."""
+    index: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    components: list[list[int]] = []
+    counter = 0
+
+    for root in sorted(adjacency):
+        if root in index:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, child_pos = work[-1]
+            if child_pos == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            successors = adjacency.get(node, [])
+            for pos in range(child_pos, len(successors)):
+                succ = successors[pos][0]
+                if succ not in index:
+                    work[-1] = (node, pos + 1)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index[node]:
+                component: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def minimize_trace(
+    spec: ModelSpec,
+    initial: State,
+    trace: _t.Sequence[Action],
+    still_violates: _t.Callable[[State], bool],
+) -> tuple[Action, ...]:
+    """Greedily delete actions a counterexample does not need.
+
+    A candidate survives when every remaining action is still enabled
+    in sequence from *initial* and the final state still satisfies
+    *still_violates*.  BFS already yields a shortest trace; this pass
+    removes commuting noise (another tenant's unrelated ops) so the DES
+    replay is as focused as the protocol allows.
+    """
+
+    def final_state(candidate: _t.Sequence[Action]) -> State | None:
+        state = initial
+        for action in candidate:
+            if action not in spec.enabled(state):
+                return None
+            state = spec.apply(state, action)
+        return state
+
+    current = list(trace)
+    shrunk = True
+    while shrunk:
+        shrunk = False
+        for i in range(len(current)):
+            candidate = current[:i] + current[i + 1 :]
+            state = final_state(candidate)
+            if state is not None and still_violates(state):
+                current = candidate
+                shrunk = True
+                break
+    return tuple(current)

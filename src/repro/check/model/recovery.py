@@ -1,0 +1,326 @@
+"""Spec 4: crash recovery under replication's declared fault budget.
+
+Abstracts one :class:`~repro.core.failures.replication.ReplicatedBuffer`
+(``copies`` mirrors on distinct servers) as a version ledger: every
+write bumps an abstract version and propagates it to the mirrors whose
+servers are up; crashes strand stale mirrors; repair re-creates dead
+mirrors on spare live servers from the lowest-index live one — exactly
+the implementation's source and target selection.
+
+Crashes are *bounded by the scheme's declared fault budget* (the new
+``fault_budget`` property: ``copies - 1`` simultaneous un-repaired
+losses).  Within that discipline the checker proves:
+
+* **no data loss** — every mirror on a live server holds the newest
+  version, so any read the implementation serves is current.
+* **anti-affinity** — mirrors never share a server.
+* **replica available** — at least one mirror stays live.
+
+Every action consumes a bounded budget (writes, crashes) or strictly
+reduces degradation (repair), so the graph is a DAG.  The replay
+adapter drives a real pool with byte-exact version stamps and
+cross-checks mirror placement, degradation, and read contents.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.check.model.replay import ReplayRecorder, ReplayResult
+from repro.check.model.spec import Action, Invariant, ModelSpec, State
+from repro.errors import ModelCheckError
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryModelState:
+    """Canonical replicated-buffer configuration."""
+
+    version: int
+    #: per replica index: hosting server
+    servers: tuple[int, ...]
+    #: per replica index: version the mirror holds
+    versions: tuple[int, ...]
+    #: per server: up or crashed
+    alive: tuple[bool, ...]
+    writes_left: int
+    crashes_left: int
+
+
+class RecoverySpec(ModelSpec):
+    """Model of write / crash / repair on a replicated buffer."""
+
+    name = "recovery"
+    description = "replication repair: no data loss below the fault budget"
+
+    def __init__(
+        self, server_count: int = 3, copies: int = 2, writes: int = 2, crashes: int = 2
+    ) -> None:
+        if copies < 2 or copies > server_count:
+            raise ModelCheckError(
+                f"{copies} copies need [2, {server_count}] distinct servers"
+            )
+        self.server_count = server_count
+        self.copies = copies
+        self.writes = writes
+        self.crashes = crashes
+        #: losses the scheme declares it masks; replay cross-checks this
+        #: against the implementation's ``fault_budget`` property
+        self.fault_budget = copies - 1
+
+    @classmethod
+    def at_scope(cls, scope: str) -> "RecoverySpec":
+        if scope == "smoke":
+            return cls(server_count=3, copies=2, writes=2, crashes=2)
+        if scope == "deep":
+            return cls(server_count=4, copies=3, writes=2, crashes=3)
+        raise ModelCheckError(f"unknown scope {scope!r} (known: smoke, deep)")
+
+    # -- the state machine ---------------------------------------------------
+
+    def initial_states(self) -> _t.Sequence[State]:
+        return [
+            RecoveryModelState(
+                version=0,
+                servers=tuple(range(self.copies)),
+                versions=(0,) * self.copies,
+                alive=(True,) * self.server_count,
+                writes_left=self.writes,
+                crashes_left=self.crashes,
+            )
+        ]
+
+    def _live(self, s: RecoveryModelState) -> list[int]:
+        return [r for r in range(self.copies) if s.alive[s.servers[r]]]
+
+    def _spares(self, s: RecoveryModelState) -> list[int]:
+        in_use = {s.servers[r] for r in self._live(s)}
+        return [
+            sid
+            for sid in range(self.server_count)
+            if sid not in in_use and s.alive[sid]
+        ]
+
+    def enabled(self, state: State) -> _t.Sequence[Action]:
+        s = _t.cast(RecoveryModelState, state)
+        actions: list[Action] = []
+        if s.writes_left > 0:
+            actions.append(Action("write"))
+        live = self._live(s)
+        if s.crashes_left > 0:
+            for sid in range(self.server_count):
+                if not s.alive[sid]:
+                    continue
+                survivors = [r for r in live if s.servers[r] != sid]
+                # the fault-budget discipline: never lose the last mirror
+                if survivors:
+                    actions.append(Action("crash", (sid,)))
+        if len(live) < self.copies and self._spares(s) and live:
+            actions.append(Action("repair"))
+        return actions
+
+    def apply(self, state: State, action: Action) -> State:
+        s = _t.cast(RecoveryModelState, state)
+        if action.kind == "write":
+            return self._apply_write(s)
+        if action.kind == "crash":
+            sid = int(action.payload[0])
+            return dataclasses.replace(
+                s,
+                alive=tuple(
+                    False if i == sid else up for i, up in enumerate(s.alive)
+                ),
+                crashes_left=s.crashes_left - 1,
+            )
+        if action.kind == "repair":
+            return self._apply_repair(s)
+        raise ModelCheckError(f"recovery: unknown action {action.render()}")
+
+    # Mutants override the keyword defaults below; the base spec mirrors
+    # ReplicatedBuffer exactly.
+
+    def _apply_write(
+        self, s: RecoveryModelState, all_live_mirrors: bool = True
+    ) -> RecoveryModelState:
+        version = s.version + 1
+        live = self._live(s)
+        targets = live if all_live_mirrors else live[:1]
+        return dataclasses.replace(
+            s,
+            version=version,
+            versions=tuple(
+                version if r in targets else held
+                for r, held in enumerate(s.versions)
+            ),
+            writes_left=s.writes_left - 1,
+        )
+
+    def _apply_repair(
+        self, s: RecoveryModelState, copy_from_live: bool = True
+    ) -> RecoveryModelState:
+        live = self._live(s)
+        source = live[0]  # the implementation reads the lowest live mirror
+        spares = self._spares(s)
+        servers = list(s.servers)
+        versions = list(s.versions)
+        for r in range(self.copies):
+            if r in live:
+                continue
+            if not spares:
+                break  # stay degraded; better than colocating mirrors
+            target = spares.pop(0)
+            servers[r] = target
+            versions[r] = versions[source] if copy_from_live else versions[r]
+        return dataclasses.replace(
+            s, servers=tuple(servers), versions=tuple(versions)
+        )
+
+    # -- properties ----------------------------------------------------------
+
+    def invariants(self) -> _t.Sequence[Invariant]:
+        return (
+            Invariant("no-data-loss", self._check_no_data_loss),
+            Invariant("replica-available", self._check_available),
+            Invariant("anti-affinity", self._check_anti_affinity),
+        )
+
+    def _check_no_data_loss(self, state: State) -> str | None:
+        s = _t.cast(RecoveryModelState, state)
+        for r in self._live(s):
+            if s.versions[r] != s.version:
+                return (
+                    f"mirror {r} on live server {s.servers[r]} holds version "
+                    f"{s.versions[r]}, newest is {s.version} — a read can "
+                    "return lost data"
+                )
+        return None
+
+    def _check_available(self, state: State) -> str | None:
+        s = _t.cast(RecoveryModelState, state)
+        if not self._live(s):
+            return (
+                f"all {self.copies} mirrors down with only "
+                f"{self.crashes - s.crashes_left} crash(es) — the declared "
+                f"fault budget is {self.fault_budget}"
+            )
+        return None
+
+    def _check_anti_affinity(self, state: State) -> str | None:
+        s = _t.cast(RecoveryModelState, state)
+        if len(set(s.servers)) != len(s.servers):
+            return f"mirrors share a server: placement {s.servers}"
+        return None
+
+    def describe_state(self, state: State) -> str:
+        s = _t.cast(RecoveryModelState, state)
+        mirrors = " ".join(
+            f"r{r}@s{sid}(v{ver}{'' if s.alive[sid] else ',dead'})"
+            for r, (sid, ver) in enumerate(zip(s.servers, s.versions))
+        )
+        return (
+            f"v{s.version} [{mirrors}] alive={s.alive} "
+            f"writes_left={s.writes_left} crashes_left={s.crashes_left}"
+        )
+
+    # -- replay through the real redundancy scheme -----------------------------
+
+    def replay(self, trace: _t.Sequence[Action]) -> ReplayResult:
+        from repro.core.failures.replication import ReplicatedBuffer
+        from repro.core.runtime import LmpRuntime
+        from repro.mem.layout import PageGeometry
+        from repro.topology.builder import build_logical
+        from repro.units import kib, mib
+
+        size = 16
+        deployment = build_logical(
+            "link0", server_count=self.server_count, server_dram_bytes=mib(2)
+        )
+        runtime = LmpRuntime(
+            deployment,
+            geometry=PageGeometry(page_bytes=kib(16), extent_bytes=kib(64)),
+            coherent_bytes=kib(64),
+            snoop_filter_lines=64,
+        )
+        engine = runtime.engine
+        buf = ReplicatedBuffer(
+            runtime.pool, size=size, copies=self.copies, home_server=0
+        )
+        recorder = ReplayRecorder(self.name)
+        recorder.expect(
+            buf.fault_budget == self.fault_budget,
+            f"implementation declares fault budget {buf.fault_budget}, "
+            f"model assumes {self.fault_budget}",
+        )
+        # stamp the initial version so reads are deterministic from step 0
+        engine.run(buf.write(0, 0, _stamp(0, size)))
+        state = _t.cast(RecoveryModelState, self.initial_states()[0])
+        for action in trace:
+            if action not in self.enabled(state):
+                raise ModelCheckError(
+                    f"recovery replay: {action.render()} is not enabled in "
+                    f"the model at {self.describe_state(state)}"
+                )
+            succ = _t.cast(RecoveryModelState, self.apply(state, action))
+            requester = self._lowest_live_server(state)
+            if action.kind == "write":
+                engine.run(buf.write(requester, 0, _stamp(succ.version, size)))
+            elif action.kind == "crash":
+                deployment.server(int(action.payload[0])).crash()
+            elif action.kind == "repair":
+                model_rebuilt = len(self._live(succ)) - len(self._live(state))
+                rebuilt = engine.run(buf.repair(requester))
+                recorder.expect(
+                    rebuilt == model_rebuilt,
+                    f"repair rebuilt {rebuilt} mirror(s), model expected "
+                    f"{model_rebuilt}",
+                )
+            self._cross_check(buf, engine, succ, recorder, size)
+            recorder.commit(action)
+            if recorder.steps[-1].ok is False:
+                break
+            state = succ
+        return recorder.result()
+
+    def _lowest_live_server(self, s: RecoveryModelState) -> int:
+        return min(sid for sid in range(self.server_count) if s.alive[sid])
+
+    def _cross_check(
+        self,
+        buf: _t.Any,
+        engine: _t.Any,
+        s: RecoveryModelState,
+        recorder: ReplayRecorder,
+        size: int,
+    ) -> None:
+        recorder.expect(
+            tuple(buf.replica_servers) == s.servers,
+            f"mirrors placed on {tuple(buf.replica_servers)}, model says "
+            f"{s.servers}",
+        )
+        recorder.expect(
+            buf.live_replicas() == self._live(s),
+            f"live mirrors {buf.live_replicas()}, model says {self._live(s)}",
+        )
+        recorder.expect(
+            buf.degraded() == (len(self._live(s)) < self.copies),
+            f"degraded()={buf.degraded()} disagrees with the model",
+        )
+        requester = self._lowest_live_server(s)
+        for r in self._live(s):
+            held = engine.run(buf.pool.read(requester, buf.replicas[r], 0, size))
+            recorder.expect(
+                held == _stamp(s.versions[r], size),
+                f"mirror {r} holds stamp {held[:1].hex()}, model says "
+                f"version {s.versions[r]}",
+            )
+        data = engine.run(buf.read(self._lowest_live_server(s), 0, size))
+        recorder.expect(
+            data == _stamp(s.version, size),
+            f"read returned version stamp {data[:1].hex()}, newest is "
+            f"{s.version} — the implementation served stale or lost data",
+        )
+
+
+def _stamp(version: int, size: int) -> bytes:
+    """A byte pattern unique to *version* (bounded, so never truncated)."""
+    return bytes([version % 251]) * size

@@ -691,6 +691,104 @@ class BarePrintRule(Rule):
         return out
 
 
+#: ambient entropy sources: dotted call names whose result differs on
+#: every invocation regardless of any seed
+_ENTROPY_CALLS = frozenset(
+    {
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.randbits",
+        "secrets.choice",
+    }
+)
+
+#: modules allowed to read the host clock: CLI surfaces that report
+#: wall-clock timings as part of their human-facing output
+_CLOCK_EXEMPT_SUFFIXES = ("cli.py", "check/runner.py")
+
+
+class AmbientNondeterminismRule(Rule):
+    """LMP010 — wall clock or ambient randomness in library code.
+
+    LMP001 keeps host time out of the *simulated* subsystems; this rule
+    covers the rest of the library.  A ``time.time()`` in the control
+    plane, a ``uuid.uuid4()`` naming a lease, or an ``os.urandom()``
+    seeding a workload makes two runs of the same scenario differ even
+    though the DES itself is deterministic — the determinism harness
+    then diffs noise, and cached results stop being comparable.  Take
+    timestamps from ``engine.now``, ids from counters, and randomness
+    from an injected ``random.Random`` / ``sim.rng`` stream.  The CLI
+    and the check runner are exempt (reporting wall-clock timings is
+    their interface); suppress intentional reads with
+    ``# noqa: LMP010``.
+    """
+
+    id = "LMP010"
+    title = "wall clock or ambient randomness in library code"
+    subsystems = None
+
+    def applies(self, ctx: LintContext) -> bool:
+        if "repro" not in ctx.path.parts:
+            return False
+        posix = ctx.path.as_posix()
+        return not any(posix.endswith(suffix) for suffix in _CLOCK_EXEMPT_SUFFIXES)
+
+    def check(self, tree: ast.AST, ctx: LintContext) -> list[Violation]:
+        # LMP001 already flags wall-clock reads in the sim subsystems;
+        # here the clock check covers everything else, and the entropy
+        # check covers the whole library (LMP001 has no entropy arm)
+        check_clock = ctx.subsystem not in SIM_SUBSYSTEMS
+        out: list[Violation] = []
+        from_imports: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module in (
+                "time",
+                "os",
+                "uuid",
+                "secrets",
+            ):
+                for alias in node.names:
+                    from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            dotted = from_imports.get(dotted, dotted)
+            head, _, tail = dotted.rpartition(".")
+            if check_clock and (
+                (head.split(".")[-1] == "time" and tail in _WALL_CLOCK_FUNCS)
+                or ("datetime" in head.split(".") and tail in _DATETIME_FUNCS)
+            ):
+                out.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"wall-clock call {dotted}() in library code; use "
+                        "engine.now (# noqa: LMP010 if intentional)",
+                    )
+                )
+            elif dotted in _ENTROPY_CALLS:
+                out.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"ambient entropy {dotted}() defeats seeded "
+                        "reproducibility; use a counter or an injected "
+                        "random.Random (# noqa: LMP010 if intentional)",
+                    )
+                )
+        return out
+
+
 #: every rule, in id order — the linter's registry
 ALL_RULES: tuple[Rule, ...] = (
     WallClockRule(),
@@ -702,4 +800,5 @@ ALL_RULES: tuple[Rule, ...] = (
     SharedWriteOutsideSyncRule(),
     HoldAcrossYieldRule(),
     BarePrintRule(),
+    AmbientNondeterminismRule(),
 )

@@ -1,17 +1,25 @@
 """Orchestrates ``python -m repro check``.
 
 Subcommands of the reproducibility gate: lint (``LMP`` rules, optional
-``--fix``), seed determinism (``--determinism``), and the dynamic race
-/ lockset / deadlock detectors (``--races``, which replays the
-determinism scenarios under :class:`~repro.check.races.RaceSanitizer`).
+``--fix``), seed determinism (``--determinism``), the dynamic race /
+lockset / deadlock detectors (``--races``, which replays the
+determinism scenarios under :class:`~repro.check.races.RaceSanitizer`),
+and the explicit-state model checker (``--model``, which exhaustively
+explores the protocol specs in :mod:`repro.check.model` and replays any
+counterexample through the real DES; ``--mutants`` additionally demands
+the checker kill every seeded protocol bug).
 
 Exit codes (stable, asserted by tests and documented in ``--help``):
 
 * ``0`` — clean: no findings of any kind
 * ``1`` — findings: lint violations, parse errors, nondeterministic
   scenarios, races, lockset violations, or deadlocks
-* ``2`` — usage error: unknown path, scenario, rule, or format
+* ``2`` — usage error: unknown path, scenario, rule, spec, scope, or
+  format
 * ``3`` — internal error: a scenario or the checker itself crashed
+* ``4`` — model-checking failure: a protocol spec has a counterexample,
+  or a seeded mutant survived (takes precedence; the runner exits with
+  the maximum applicable code)
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from __future__ import annotations
 import json
 import pathlib
 import sys
+import time
 import traceback
 import typing as _t
 
@@ -32,6 +41,7 @@ EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_USAGE = 2
 EXIT_INTERNAL = 3
+EXIT_MODEL = 4
 
 FORMATS = ("text", "json", "github")
 
@@ -71,6 +81,57 @@ def _scenario_names(requested: _t.Sequence[str]) -> list[str] | None:
         )
         return None
     return names
+
+
+def _model_spec_names(requested: _t.Sequence[str]) -> list[str] | None:
+    from repro.check.model import SPECS
+
+    names = list(requested) or sorted(SPECS)
+    if "all" in names:
+        names = sorted(SPECS)
+    unknown = sorted(set(names) - set(SPECS))
+    if unknown:
+        print(
+            f"repro check: unknown model spec(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(SPECS))})",
+            file=sys.stderr,
+        )
+        return None
+    return names
+
+
+def run_model_checks(
+    names: _t.Sequence[str],
+    scope: str = "smoke",
+    depth: int | None = None,
+    max_states: int = 200_000,
+) -> list[dict[str, _t.Any]]:
+    """Explore each named spec; replay the first counterexample.
+
+    Returns one record per spec: ``{spec, result, replay, elapsed_s}``
+    where ``result`` is an
+    :class:`~repro.check.model.ExplorationResult` and ``replay`` is a
+    :class:`~repro.check.model.ReplayResult` (or None when the spec
+    held).  Counterexample replays include a liveness lasso's cycle, so
+    the deterministic repro exhibits the bug, not just its prefix.
+    """
+    from repro.check.model import Explorer, build_spec, checked_replay
+
+    records: list[dict[str, _t.Any]] = []
+    for name in names:
+        spec = build_spec(name, scope)
+        started = time.perf_counter()
+        result = Explorer(spec, max_depth=depth, max_states=max_states).run()
+        elapsed = time.perf_counter() - started
+        replay = None
+        if result.violations:
+            violation = result.violations[0]
+            if violation.trace or violation.cycle:
+                replay = checked_replay(spec, violation.trace + violation.cycle)
+        records.append(
+            {"spec": name, "result": result, "replay": replay, "elapsed_s": elapsed}
+        )
+    return records
 
 
 def run_races(names: _t.Sequence[str]) -> list[dict[str, _t.Any]]:
@@ -168,14 +229,20 @@ def run_check(
     fix: bool = False,
     determinism: _t.Sequence[str] | None = None,
     races: _t.Sequence[str] | None = None,
+    model: _t.Sequence[str] | None = None,
+    scope: str = "smoke",
+    depth: int | None = None,
+    mutants: bool = False,
     fmt: str = "text",
     select: _t.Sequence[str] | None = None,
     stream: _t.TextIO | None = None,
 ) -> int:
     """Lint *paths* (default: the installed ``repro`` package), then
-    optionally verify seed determinism and run the race/deadlock
-    detectors over the named scenarios.  Returns the exit code
-    documented in the module docstring (0/1/2/3)."""
+    optionally verify seed determinism, run the race/deadlock detectors
+    over the named scenarios, and model-check the named protocol specs
+    (with *mutants*, also self-test the checker against seeded bugs).
+    Returns the exit code documented in the module docstring
+    (0/1/2/3/4)."""
     if stream is None:
         stream = sys.stdout
     if fmt not in FORMATS:
@@ -202,6 +269,26 @@ def run_check(
         race_names = _scenario_names(races)
         if race_names is None:
             return EXIT_USAGE
+    model_names: list[str] | None = None
+    if model is not None:
+        from repro.check.model import SCOPES
+
+        model_names = _model_spec_names(model)
+        if model_names is None:
+            return EXIT_USAGE
+        if scope not in SCOPES:
+            print(
+                f"repro check: unknown scope {scope!r} "
+                f"(known: {', '.join(SCOPES)})",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        if depth is not None and depth < 1:
+            print(f"repro check: depth must be >= 1, got {depth}", file=sys.stderr)
+            return EXIT_USAGE
+    elif mutants:
+        print("repro check: --mutants requires --model", file=sys.stderr)
+        return EXIT_USAGE
 
     try:
         exit_code = EXIT_CLEAN
@@ -273,6 +360,52 @@ def run_check(
                             file=stream,
                         )
 
+        model_records: list[dict[str, _t.Any]] = []
+        mutant_reports: list[_t.Any] = []
+        if model_names is not None:
+            model_records = run_model_checks(model_names, scope=scope, depth=depth)
+            for record in model_records:
+                result = record["result"]
+                if fmt != "json":
+                    print(f"{result.render()}  [{record['elapsed_s']:.2f}s]", file=stream)
+                    for violation in result.violations:
+                        print(violation.render(), file=stream)
+                    if record["replay"] is not None:
+                        print(record["replay"].render(), file=stream)
+                if result.violations:
+                    exit_code = max(exit_code, EXIT_MODEL)
+            if fmt == "github":
+                for record in model_records:
+                    for violation in record["result"].violations:
+                        print(
+                            f"::error title=model {violation.kind} "
+                            f"({record['spec']}: {violation.property})::"
+                            f"{_github_escape(violation.render())}",
+                            file=stream,
+                        )
+            if mutants:
+                from repro.check.model.mutants import run_mutants as _run_mutants
+
+                mutant_reports = _run_mutants(scope)
+                missed = [r for r in mutant_reports if not r.caught]
+                if fmt != "json":
+                    for report in mutant_reports:
+                        print(report.render(), file=stream)
+                    print(
+                        f"mutation harness: {len(mutant_reports) - len(missed)}"
+                        f"/{len(mutant_reports)} seeded bug(s) caught",
+                        file=stream,
+                    )
+                if fmt == "github":
+                    for report in missed:
+                        print(
+                            f"::error title=mutant survived ({report.name})::"
+                            f"{_github_escape(report.description)}",
+                            file=stream,
+                        )
+                if missed:
+                    exit_code = max(exit_code, EXIT_MODEL)
+
         if fmt == "json":
             payload = {
                 "version": 1,
@@ -309,6 +442,29 @@ def run_check(
                     {k: v for k, v in result.items() if not k.startswith("_")}
                     for result in race_results
                 ],
+                "model": [
+                    {
+                        "spec": record["spec"],
+                        "scope": scope,
+                        "states": record["result"].states,
+                        "transitions": record["result"].transitions,
+                        "depth": record["result"].depth,
+                        "complete": record["result"].complete,
+                        "por": record["result"].por_used,
+                        "liveness_checked": record["result"].liveness_checked,
+                        "elapsed_s": record["elapsed_s"],
+                        "violations": [
+                            v.to_json() for v in record["result"].violations
+                        ],
+                        "replay": (
+                            record["replay"].to_json()
+                            if record["replay"] is not None
+                            else None
+                        ),
+                    }
+                    for record in model_records
+                ],
+                "mutants": [report.to_json() for report in mutant_reports],
             }
             json.dump(payload, stream, indent=2)
             stream.write("\n")

@@ -219,15 +219,19 @@ def build_parser() -> argparse.ArgumentParser:
     check_cmd = commands.add_parser(
         "check",
         help="run the LMP determinism linter (and optionally seed-determinism "
-        "scenarios and the race/deadlock detectors)",
+        "scenarios, the race/deadlock detectors, and the protocol model "
+        "checker)",
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog=(
             "exit codes:\n"
             "  0  clean: no findings\n"
             "  1  findings: lint violations, nondeterminism, races, locksets,"
             " or deadlocks\n"
-            "  2  usage error: unknown path, scenario, rule, or format\n"
-            "  3  internal error: a scenario or the checker itself crashed"
+            "  2  usage error: unknown path, scenario, rule, spec, scope, or"
+            " format\n"
+            "  3  internal error: a scenario or the checker itself crashed\n"
+            "  4  model-checking failure: a protocol spec has a"
+            " counterexample, or a seeded mutant survived"
         ),
     )
     check_cmd.add_argument(
@@ -257,6 +261,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="also replay scenarios under the happens-before race detector, "
         "lockset analysis, and deadlock detection ('all' or names; "
         "no names = all)",
+    )
+    check_cmd.add_argument(
+        "--model",
+        nargs="*",
+        metavar="SPEC",
+        default=None,
+        help="also exhaustively model-check protocol specs (coherence, "
+        "leases, admission, recovery; 'all' or names; no names = all) and "
+        "replay any counterexample deterministically through the DES",
+    )
+    check_cmd.add_argument(
+        "--scope",
+        choices=["smoke", "deep"],
+        default="smoke",
+        help="model-checking state-space scope (default: smoke)",
+    )
+    check_cmd.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound model exploration to N actions deep (default: exhaustive)",
+    )
+    check_cmd.add_argument(
+        "--mutants",
+        action="store_true",
+        help="with --model: self-test the checker by seeding known protocol "
+        "bugs; every mutant must die with a counterexample",
     )
     check_cmd.add_argument(
         "--format",
@@ -289,6 +321,10 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             fix=args.fix,
             determinism=args.determinism,
             races=args.races,
+            model=args.model,
+            scope=args.scope,
+            depth=args.depth,
+            mutants=args.mutants,
             fmt=args.fmt,
             select=args.select,
         )

@@ -387,13 +387,21 @@ class PoolManager:
         ticks = max(1, int(duration // period))
         for _tick in range(ticks):
             yield self.engine.timeout(period)
-            for lease in self.leases.expired(self.engine.now):
-                tenant = self.tenant(lease.tenant_id)
-                self._control_session(tenant).free(lease.buffer)
-                self.leases.total_expired += 1
-                expired_total += 1
-                self.stats.counter("leases.expired").add()
+            expired_total += self.sweep_expired()
         return expired_total
+
+    def sweep_expired(self) -> int:
+        """Reclaim every lease expired as of ``engine.now``; returns the
+        count.  One sweeper tick — exposed so tests and the model
+        checker's replay adapters can drive sweeps at exact instants."""
+        expired = 0
+        for lease in self.leases.expired(self.engine.now):
+            tenant = self.tenant(lease.tenant_id)
+            self._control_session(tenant).free(lease.buffer)
+            self.leases.total_expired += 1
+            expired += 1
+            self.stats.counter("leases.expired").add()
+        return expired
 
     # -- reporting -----------------------------------------------------------
 

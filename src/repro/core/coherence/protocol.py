@@ -166,6 +166,20 @@ class CoherenceDirectory:
     def cached_lines(self, host: int) -> set[int]:
         return set(self._caches[host])
 
+    def entry_view(self, line: int) -> tuple[int | None, tuple[int, ...]]:
+        """Canonical ``(owner, sorted sharers)`` directory view.
+
+        The adapter seam for ``repro.check.model``: the model checker's
+        coherence spec cross-checks its abstract directory against this
+        after every replayed transition, so model and implementation
+        cannot drift silently.
+        """
+        self._check_line(line)
+        entry = self._entries.get(line)
+        if entry is None:
+            return (None, ())
+        return (entry.owner, tuple(sorted(entry.sharers)))
+
     def state_of(self, line: int, host: int) -> str:
         """'M', 'S', or 'I' — for protocol invariant checks."""
         entry = self._entries.get(line)
@@ -331,6 +345,37 @@ class CoherenceDirectory:
             self._values[line] = new
             self._after_transition(line, "rmw", host)
             return old, new
+        finally:
+            self._line_lock(line).release()
+
+    def evict(self, host: int, line: int) -> "Process":
+        """Voluntarily drop *host*'s cached copy (a capacity eviction);
+        the process returns True when a copy was actually dropped.
+
+        Snoop-filter overflow performs the same transition implicitly;
+        exposing it as an explicit operation gives tests and the model
+        checker's coherence spec a way to drive evictions directly.
+        """
+        return self.engine.process(
+            self._evict_body(host, line), name=f"coh.evict{line}"
+        )
+
+    def _evict_body(self, host: int, line: int):
+        self._check_line(line)
+        yield self._line_lock(line).acquire()
+        try:
+            if line not in self._caches[host]:
+                return False
+            entry = self._entry(line)
+            self._caches[host].discard(line)
+            entry.sharers.discard(host)
+            self.snoop_filters[self.home_of(line)].untrack(line, host)
+            if entry.owner == host:
+                entry.owner = None
+                self.stats.writebacks += 1
+            self.stats.invalidation_messages += 1
+            self._after_transition(line)
+            return True
         finally:
             self._line_lock(line).release()
 

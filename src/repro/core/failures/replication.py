@@ -76,6 +76,12 @@ class ReplicatedBuffer:
     def storage_overhead(self) -> float:
         return len(self.replicas) - 1.0
 
+    @property
+    def fault_budget(self) -> int:
+        """Simultaneous un-repaired server losses the scheme masks: all
+        but one mirror may die and a live copy still serves reads."""
+        return len(self.replicas) - 1
+
     def live_replicas(self) -> list[int]:
         """Indices of replicas whose server is up."""
         return [
@@ -198,6 +204,12 @@ class ErasureCodedBuffer:
     @property
     def storage_overhead(self) -> float:
         return self.code.storage_overhead
+
+    @property
+    def fault_budget(self) -> int:
+        """Simultaneous un-repaired server losses the scheme masks: any
+        ``m`` erasures still decode."""
+        return self.code.m
 
     def live_shards(self) -> list[int]:
         return [

@@ -148,6 +148,15 @@ class DeadlockError(SimulationError, SanitizerError):
     (who waits on whom, and through which semaphore or process)."""
 
 
+class ModelCheckError(SanitizerError):
+    """The explicit-state model checker (``repro.check.model``) was
+    misused — unknown spec or scope, a malformed trace handed to a
+    replay adapter, or an exploration budget that cannot be satisfied.
+
+    Protocol *violations* are not exceptions: the explorer reports them
+    as counterexamples so the runner can render and replay them."""
+
+
 class DataRaceError(SanitizerError):
     """Two accesses to the same shared frame — at least one a write —
     were not ordered by happens-before (no coherence transition, sync

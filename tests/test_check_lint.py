@@ -325,6 +325,62 @@ def test_lmp009_ignores_non_name_print():
     assert "LMP009" not in rule_ids("device.print('x')\n")
 
 
+# --- LMP010 ambient nondeterminism in library code --------------------------------
+
+
+def test_lmp010_flags_wall_clock_outside_sim_subsystems():
+    # LMP001 is scoped to the simulated subsystems; LMP010 extends the
+    # wall-clock ban to the rest of the library (obs, cluster, analysis...)
+    source = "import time\nstamp = time.time()\n"
+    assert "LMP010" in rule_ids(source, path=CLUSTER_PATH)
+    assert "LMP010" in rule_ids(source, path=pathlib.Path("src/repro/obs/tracing.py"))
+
+
+def test_lmp010_defers_wall_clock_to_lmp001_inside_sim_subsystems():
+    # inside sim/core/fabric/hw/mem the wall-clock ban is LMP001's job;
+    # LMP010 stays silent so one call never produces two findings
+    ids = rule_ids("import time\nt = time.monotonic()\n", path=SIM_PATH)
+    assert "LMP001" in ids
+    assert "LMP010" not in ids
+
+
+def test_lmp010_flags_ambient_entropy_everywhere():
+    assert "LMP010" in rule_ids("import os\nseed = os.urandom(8)\n", path=SIM_PATH)
+    assert "LMP010" in rule_ids(
+        "import uuid\ntag = uuid.uuid4()\n", path=CLUSTER_PATH
+    )
+    assert "LMP010" in rule_ids(
+        "from secrets import token_hex\ntag = token_hex(4)\n", path=CLUSTER_PATH
+    )
+
+
+def test_lmp010_flags_datetime_now_outside_sim():
+    assert "LMP010" in rule_ids(
+        "import datetime\nstamp = datetime.datetime.now()\n", path=CLUSTER_PATH
+    )
+
+
+def test_lmp010_exempts_cli_and_runner():
+    source = "import time\nstarted = time.perf_counter()\n"
+    for exempt in ("src/repro/cli.py", "src/repro/check/runner.py"):
+        assert "LMP010" not in rule_ids(source, path=pathlib.Path(exempt))
+
+
+def test_lmp010_allows_injected_rng_and_engine_now():
+    source = """
+    def body(engine, rng):
+        t = engine.now
+        jitter = rng.random()
+        return t + jitter
+    """
+    assert "LMP010" not in rule_ids(source, path=CLUSTER_PATH)
+
+
+def test_lmp010_noqa_suppresses():
+    source = "import time\nt = time.time()  # noqa: LMP010 - operator-facing stamp\n"
+    assert rule_ids(source, path=CLUSTER_PATH) == []
+
+
 # --- noqa suppressions ----------------------------------------------------------
 
 

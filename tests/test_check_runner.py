@@ -137,8 +137,8 @@ def test_exit_internal_on_scenario_crash(clean_tree, monkeypatch):
 
 
 def test_exit_codes_are_distinct_and_documented():
-    codes = {EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, EXIT_INTERNAL}
-    assert codes == {0, 1, 2, 3}
+    codes = {EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, EXIT_INTERNAL, runner_mod.EXIT_MODEL}
+    assert codes == {0, 1, 2, 3, 4}
     doc = runner_mod.__doc__
     for code in sorted(codes):
         assert f"``{code}``" in doc
