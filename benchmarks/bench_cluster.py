@@ -95,6 +95,7 @@ def _assert_detectors_uninstalled() -> None:
     from repro.core.migration import LocalityBalancer
     from repro.fabric.transport import MemoryTransport
     from repro.hw.cpu import Core
+    from repro.mem.arena.gauntlet import Gauntlet
     from repro.sim.engine import Engine
     from repro.sim.process import Process
     from repro.workloads import vector_sum
@@ -113,6 +114,7 @@ def _assert_detectors_uninstalled() -> None:
         "LocalityBalancer._obs": LocalityBalancer._obs,
         "PoolManager._obs": _Manager._obs,
         "ClusterDriver._obs": _Driver._obs,
+        "Gauntlet._obs": Gauntlet._obs,
         "workloads.vector_sum._obs": vector_sum._obs,
     }
     stale = [name for name, value in slots.items() if value is not None]

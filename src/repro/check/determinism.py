@@ -94,6 +94,24 @@ def _scenario_obs() -> _t.Any:
     return first
 
 
+def _scenario_alloc() -> _t.Any:
+    """A reduced allocator-gauntlet run, compared at two levels.
+
+    The harness's engine-stream diff covers the DES compaction replays;
+    on top of that the scenario renders the full experiment twice and
+    insists the report text — every fragmentation score, every
+    compaction byte count — is byte-identical."""
+    from repro.experiments import alloc
+
+    first = alloc.run(ops=2000, ablation_ops=4000).render()
+    second = alloc.run(ops=2000, ablation_ops=4000).render()
+    if first != second:
+        raise DeterminismError(
+            "alloc: rendered gauntlet reports differ between two same-seed runs"
+        )
+    return first
+
+
 #: scenario name -> zero-argument callable; reduced sizes keep reruns cheap
 SCENARIOS: dict[str, _t.Callable[[], _t.Any]] = {
     "figure2": _scenario_figure2,
@@ -101,6 +119,7 @@ SCENARIOS: dict[str, _t.Callable[[], _t.Any]] = {
     "migration": _scenario_migration,
     "cluster": _scenario_cluster,
     "obs": _scenario_obs,
+    "alloc": _scenario_alloc,
 }
 
 

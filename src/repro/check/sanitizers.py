@@ -100,18 +100,35 @@ class AllocSanitizer:
     _STATE_ATTR = "_repro_check_shadow"
 
     def __init__(self) -> None:
-        self._originals: dict[type, tuple[_t.Callable, _t.Callable]] = {}
+        self._originals: dict[type, tuple[tuple[str, _t.Callable], ...]] = {}
         self._region_originals: tuple[_t.Callable, _t.Callable] | None = None
 
     # -- install / uninstall -------------------------------------------------
 
     def install(self) -> None:
+        from repro.mem.arena.bestfit import BestFitAllocator
+        from repro.mem.arena.slab import SlabAllocator
+        from repro.mem.arena.tenant import TenantArenaAllocator
+
         if AllocSanitizer._active is not None:
             raise SanitizerError("an AllocSanitizer is already installed")
-        for cls in (FreeListAllocator, BuddyAllocator):
-            self._originals[cls] = (cls.allocate, cls.free)
+        for cls in (FreeListAllocator, BuddyAllocator, BestFitAllocator, SlabAllocator):
+            self._originals[cls] = (("allocate", cls.allocate), ("free", cls.free))
             cls.allocate = self._wrap_allocate(cls.allocate)  # type: ignore[method-assign]
             cls.free = self._wrap_free(cls.free)  # type: ignore[method-assign]
+        # the tenant arena's plain allocate() delegates to allocate_for()
+        # — wrapping both would double-record every grant, so only the
+        # funnel is patched
+        self._originals[TenantArenaAllocator] = (
+            ("allocate_for", TenantArenaAllocator.allocate_for),
+            ("free", TenantArenaAllocator.free),
+        )
+        TenantArenaAllocator.allocate_for = self._wrap_allocate(  # type: ignore[method-assign]
+            TenantArenaAllocator.allocate_for
+        )
+        TenantArenaAllocator.free = self._wrap_free(  # type: ignore[method-assign]
+            TenantArenaAllocator.free
+        )
         self._region_originals = (
             RegionManager.allocate_frames,
             RegionManager.free_frames,
@@ -127,9 +144,9 @@ class AllocSanitizer:
     def uninstall(self) -> None:
         if AllocSanitizer._active is not self:
             raise SanitizerError("this AllocSanitizer is not installed")
-        for cls, (orig_alloc, orig_free) in self._originals.items():
-            cls.allocate = orig_alloc  # type: ignore[method-assign]
-            cls.free = orig_free  # type: ignore[method-assign]
+        for cls, entries in self._originals.items():
+            for attr, original in entries:
+                setattr(cls, attr, original)
         self._originals.clear()
         assert self._region_originals is not None
         RegionManager.allocate_frames, RegionManager.free_frames = (  # type: ignore[method-assign]
@@ -158,8 +175,9 @@ class AllocSanitizer:
     def _wrap_allocate(self, inner: _t.Callable) -> _t.Callable:
         sanitizer = self
 
-        def allocate(alloc_self: _AnyAllocator, size: int) -> Allocation:
-            granted: Allocation = inner(alloc_self, size)
+        def allocate(alloc_self: _AnyAllocator, *args: _t.Any, **kwargs: _t.Any) -> Allocation:
+            # *args absorbs both allocate(size) and allocate_for(tenant, size)
+            granted: Allocation = inner(alloc_self, *args, **kwargs)
             state = sanitizer._state(alloc_self)
             clash = state.overlapping_live(granted.offset, granted.size)
             if clash is not None:

@@ -65,6 +65,7 @@ EXPERIMENTS: dict[str, tuple[str, _t.Callable[[], _t.Any]]] = {
     "incast": ("A1: incast at the physical pool", _runner("incast")),
     "sizing": ("A2: shared-region sizing policies", _runner("sizing")),
     "migration": ("A3: locality balancing on/off", _runner("migration")),
+    "alloc": ("A10: allocator gauntlet + live compaction", _runner("alloc")),
     "coherence": ("A4: snoop-filter pressure + lock designs", _runner("coherence")),
     "failures": ("A5: crash recovery regimes", _runner("failures")),
     "cluster": (

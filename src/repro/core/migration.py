@@ -173,6 +173,100 @@ class LocalityBalancer:
 
 
 @dataclasses.dataclass(frozen=True)
+class CompactionReport:
+    """Outcome of one arena compaction pass.
+
+    ``moves`` maps each relocated block's old offset to its new one;
+    callers holding raw offsets across the pass must re-resolve through
+    it (a stale offset raises
+    :class:`~repro.errors.StaleHandleError` on its next use).
+    """
+
+    blocks_moved: int
+    bytes_moved: int
+    moves: dict[int, int]
+    fragmentation_before: float
+    fragmentation_after: float
+    largest_hole_before: int
+    largest_hole_after: int
+    #: honest copy cost: bytes_moved at local-copy bandwidth, charged to
+    #: the simulation clock by the caller (the gauntlet's DES replay
+    #: yields a timeout for exactly this long)
+    cost_ns: int
+
+
+class ArenaCompactor:
+    """Slide live blocks left to close holes in a shared-pool arena.
+
+    The policy half is a single threshold: compact when external
+    fragmentation exceeds it.  The mechanism reuses the allocator's own
+    ``relocate()`` (free + lowest-fit re-allocate), so the sanitizers
+    observe every move, and the cost model is the same
+    bytes-over-bandwidth accounting the extent-migration paths use —
+    compaction is never free.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.5,
+        copy_bytes_per_ns: float = 8.0,
+    ) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ConfigError(f"threshold must be in (0, 1), got {threshold}")
+        if copy_bytes_per_ns <= 0:
+            raise ConfigError(
+                f"copy_bytes_per_ns must be positive, got {copy_bytes_per_ns}"
+            )
+        self.threshold = threshold
+        self.copy_bytes_per_ns = copy_bytes_per_ns
+        self.reports: list[CompactionReport] = []
+
+    def should_compact(self, allocator: _t.Any) -> bool:
+        """True when *allocator* can relocate and is past the threshold."""
+        return bool(
+            getattr(allocator, "supports_compaction", False)
+            and allocator.fragmentation() > self.threshold
+        )
+
+    def compact(self, allocator: _t.Any) -> CompactionReport:
+        """Relocate every live block, lowest first, into the lowest hole.
+
+        Ascending order makes each slide monotone leftward, so one pass
+        reaches the fully-compacted layout (all live blocks packed low,
+        free space one hole) and terminates.
+        """
+        frag_before = allocator.fragmentation()
+        hole_before = allocator.largest_hole
+        moves: dict[int, int] = {}
+        bytes_moved = 0
+        for block in allocator.live_allocations():
+            granted = allocator.relocate(block)
+            if granted.offset != block.offset:
+                moves[block.offset] = granted.offset
+                bytes_moved += block.size
+        report = CompactionReport(
+            blocks_moved=len(moves),
+            bytes_moved=bytes_moved,
+            moves=moves,
+            fragmentation_before=frag_before,
+            fragmentation_after=allocator.fragmentation(),
+            largest_hole_before=hole_before,
+            largest_hole_after=allocator.largest_hole,
+            cost_ns=int(bytes_moved / self.copy_bytes_per_ns),
+        )
+        self.reports.append(report)
+        return report
+
+    @property
+    def total_bytes_moved(self) -> int:
+        return sum(r.bytes_moved for r in self.reports)
+
+    @property
+    def total_cost_ns(self) -> int:
+        return sum(r.cost_ns for r in self.reports)
+
+
+@dataclasses.dataclass(frozen=True)
 class RebalanceReport:
     """Outcome of one capacity-rebalancing pass."""
 

@@ -34,6 +34,21 @@ class AllocationError(CapacityError):
     """An allocator could not find a suitable free range despite capacity."""
 
 
+class UnknownHandleError(AllocationError):
+    """A free/resolve used a handle the allocator never granted (an
+    offset outside the managed range, misaligned, or pointing into the
+    middle of a live block)."""
+
+
+class StaleHandleError(AllocationError):
+    """A handle refers to a block that compaction has since relocated.
+
+    The error message carries the block's new offset; callers holding
+    plain integer offsets across a compaction pass must re-resolve them
+    from the :class:`~repro.core.migration.CompactionReport` move map.
+    """
+
+
 class AddressError(ReproError):
     """A logical or physical address is invalid or cannot be translated."""
 

@@ -7,6 +7,9 @@ The building blocks under the LMP runtime's addressing scheme (§5
   private/shared/coherent region descriptors,
 * :mod:`repro.mem.allocator` — free-list and buddy allocators for
   carving physical ranges out of a device,
+* :mod:`repro.mem.arena` — the pluggable allocator registry (five
+  strategies behind one protocol) and the adversarial-trace gauntlet
+  that ranks them,
 * :mod:`repro.mem.page_table` — the *fine-grained, resolved locally*
   second translation step (logical page -> local frame),
 * :mod:`repro.mem.global_map` — the *coarse-grained, globally
@@ -16,6 +19,11 @@ The building blocks under the LMP runtime's addressing scheme (§5
 """
 
 from repro.mem.allocator import BuddyAllocator, FreeListAllocator
+from repro.mem.arena.protocol import (
+    AllocatorProtocol,
+    allocator_names,
+    make_allocator,
+)
 from repro.mem.global_map import GlobalMap, MapCache, MapEntry
 from repro.mem.interleave import (
     CapacityWeightedPlacement,
@@ -35,6 +43,7 @@ from repro.mem.layout import (
 from repro.mem.page_table import PageTable, Protection
 
 __all__ = [
+    "AllocatorProtocol",
     "BuddyAllocator",
     "CapacityWeightedPlacement",
     "Extent",
@@ -49,6 +58,8 @@ __all__ = [
     "PhysicalLocation",
     "PlacementPolicy",
     "Protection",
+    "allocator_names",
+    "make_allocator",
     "Region",
     "RegionKind",
     "RoundRobinPlacement",

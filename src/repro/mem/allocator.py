@@ -10,7 +10,22 @@ Two classic designs with identical interfaces:
   and bounded fragmentation matter more than tight packing.
 
 Both allocate from an abstract byte range; callers bind the range to a
-device/region.  Both track statistics used by the sizing policies.
+device/region.  Both track the statistics used by the sizing policies
+and expose the gauges (:attr:`largest_hole`, :meth:`fragmentation`)
+the :mod:`repro.mem.arena` gauntlet scores.
+
+They are the reference implementations of
+:class:`repro.mem.arena.protocol.AllocatorProtocol`; the competing
+strategies (size-class slab, per-tenant arenas, size-indexed best fit)
+live in :mod:`repro.mem.arena` behind the same protocol.
+
+Misuse diagnosis is typed: freeing a range that is currently free
+raises :class:`~repro.errors.DoubleFreeError`, a handle the allocator
+never granted raises :class:`~repro.errors.UnknownHandleError`, and a
+handle whose block compaction has relocated raises
+:class:`~repro.errors.StaleHandleError` — all three still subclass
+:class:`~repro.errors.AllocationError`, so existing guards keep
+working.
 """
 
 from __future__ import annotations
@@ -18,7 +33,13 @@ from __future__ import annotations
 import bisect
 import dataclasses
 
-from repro.errors import AllocationError, ConfigError
+from repro.errors import (
+    AllocationError,
+    ConfigError,
+    DoubleFreeError,
+    StaleHandleError,
+    UnknownHandleError,
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -33,6 +54,45 @@ class Allocation:
         return self.offset + self.size
 
 
+def handle_offset(allocation: Allocation | int) -> int:
+    """Normalize a mixed ``Allocation | int`` handle to its offset."""
+    return allocation.offset if isinstance(allocation, Allocation) else allocation
+
+
+def classify_bad_free(
+    offset: int,
+    capacity: int,
+    free_holes: list[tuple[int, int]],
+    stale: dict[int, int],
+) -> AllocationError:
+    """The precise error for a free() whose offset is not live.
+
+    *free_holes* is the allocator's (offset, size) hole list sorted by
+    offset; *stale* maps relocated-away offsets to their new homes.
+    """
+    if offset in stale:
+        return StaleHandleError(
+            f"free() of offset {offset}: block was relocated to "
+            f"{stale[offset]} by compaction (use the move map to re-resolve)"
+        )
+    if offset < 0 or offset >= capacity:
+        return UnknownHandleError(
+            f"free() of offset {offset} outside the managed range [0, {capacity})"
+        )
+    i = bisect.bisect_right(free_holes, (offset, capacity + 1)) - 1
+    if i >= 0:
+        hole_off, hole_size = free_holes[i]
+        if hole_off <= offset < hole_off + hole_size:
+            return DoubleFreeError(
+                f"free() of offset {offset}: range is already free "
+                f"(inside hole [{hole_off}, {hole_off + hole_size}))"
+            )
+    return UnknownHandleError(
+        f"free() of offset {offset}: no allocation starts there "
+        "(mid-block or never granted)"
+    )
+
+
 class FreeListAllocator:
     """Sorted-free-list allocator with coalescing.
 
@@ -40,6 +100,9 @@ class FreeListAllocator:
     similar sizes) or ``"best-fit"`` (tighter packing under mixed
     sizes).
     """
+
+    #: compaction can relocate live blocks (see :meth:`relocate`)
+    supports_compaction: bool = True
 
     def __init__(self, capacity: int, policy: str = "first-fit", align: int = 64) -> None:
         if capacity <= 0:
@@ -54,6 +117,11 @@ class FreeListAllocator:
         #: sorted list of (offset, size) free holes
         self._free: list[tuple[int, int]] = [(0, capacity)]
         self._live: dict[int, int] = {}  # offset -> size
+        #: old offset -> new offset for blocks compaction moved away
+        self._stale: dict[int, int] = {}
+        #: when True, placement ignores ``policy`` and slides left
+        #: (lowest adequate hole) — compaction's placement rule
+        self._lowest_fit = False
         self.bytes_allocated = 0
         self.alloc_count = 0
         self.fail_count = 0
@@ -74,6 +142,10 @@ class FreeListAllocator:
         if free == 0:
             return 0.0
         return 1.0 - self.largest_hole / free
+
+    def live_allocations(self) -> list[Allocation]:
+        """Every live range, sorted by offset."""
+        return [Allocation(off, size) for off, size in sorted(self._live.items())]
 
     # -- allocate / free -----------------------------------------------------
 
@@ -96,18 +168,21 @@ class FreeListAllocator:
         if hole > need:
             self._free.insert(index, (offset + need, hole - need))
         self._live[offset] = need
+        # the spot is live again under a fresh handle: a stale mapping
+        # recorded at this offset no longer describes anything
+        self._stale.pop(offset, None)
         self.bytes_allocated += need
         self.alloc_count += 1
         return Allocation(offset, need)
 
     def _find_hole(self, need: int) -> int | None:
-        if self.policy == "first-fit":
+        if self.policy == "first-fit" or self._lowest_fit:
             for i, (_off, size) in enumerate(self._free):
                 if size >= need:
                     return i
             return None
         best_i: int | None = None
-        best_size = None
+        best_size: int | None = None
         for i, (_off, size) in enumerate(self._free):
             if size >= need and (best_size is None or size < best_size):
                 best_i, best_size = i, size
@@ -115,10 +190,10 @@ class FreeListAllocator:
 
     def free(self, allocation: Allocation | int) -> None:
         """Return a range; adjacent holes coalesce immediately."""
-        offset = allocation.offset if isinstance(allocation, Allocation) else allocation
+        offset = handle_offset(allocation)
         size = self._live.pop(offset, None)
         if size is None:
-            raise AllocationError(f"free() of unknown offset {offset}")
+            raise classify_bad_free(offset, self.capacity, self._free, self._stale)
         self.bytes_allocated -= size
         i = bisect.bisect_left(self._free, (offset, 0))
         # merge with successor
@@ -131,6 +206,34 @@ class FreeListAllocator:
             self._free[i - 1] = (prev_off, prev_size + size)
         else:
             self._free.insert(i, (offset, size))
+
+    # -- compaction support --------------------------------------------------
+
+    def relocate(self, allocation: Allocation | int) -> Allocation:
+        """Move a live block to the lowest adequate hole (left slide).
+
+        Returns the block's new grant — possibly at the same offset when
+        no better hole exists.  When the block does move, its old offset
+        becomes *stale*: a later ``free(old_offset)`` raises
+        :class:`~repro.errors.StaleHandleError` instead of corrupting a
+        bystander.  Used by
+        :class:`~repro.core.migration.ArenaCompactor`, which charges the
+        copy cost.
+        """
+        offset = handle_offset(allocation)
+        size = self._live.get(offset)
+        if size is None:
+            raise classify_bad_free(offset, self.capacity, self._free, self._stale)
+        self.free(offset)
+        self._lowest_fit = True
+        try:
+            moved = self.allocate(size)
+        finally:
+            self._lowest_fit = False
+        self.alloc_count -= 1  # a relocation is not a new request
+        if moved.offset != offset:
+            self._stale[offset] = moved.offset
+        return moved
 
     def check_invariants(self) -> None:
         """Assert internal consistency (used by property tests)."""
@@ -155,6 +258,10 @@ class BuddyAllocator:
     ``min_block``.  Frees recombine buddies eagerly.
     """
 
+    #: buddy blocks are identified by their order-aligned offsets;
+    #: moving one would change its identity, so no compaction
+    supports_compaction: bool = False
+
     def __init__(self, capacity: int, min_block: int = 4096) -> None:
         if capacity < min_block:
             raise ConfigError(f"capacity {capacity} smaller than min block {min_block}")
@@ -168,6 +275,8 @@ class BuddyAllocator:
         self._free[self._max_order].add(0)
         self._live: dict[int, int] = {}  # offset -> order
         self.bytes_allocated = 0
+        self.alloc_count = 0
+        self.fail_count = 0
 
     def _order_for(self, size: int) -> int:
         blocks = (size + self.min_block - 1) // self.min_block
@@ -181,18 +290,42 @@ class BuddyAllocator:
     def bytes_free(self) -> int:
         return self.capacity - self.bytes_allocated
 
+    @property
+    def largest_hole(self) -> int:
+        """The largest free block (eager recombination keeps this honest)."""
+        for order in range(self._max_order, -1, -1):
+            if self._free[order]:
+                return self.block_size(order)
+        return 0
+
+    def fragmentation(self) -> float:
+        """1 - largest_block/free: 0 when free space is one max block."""
+        free = self.bytes_free
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_hole / free
+
+    def live_allocations(self) -> list[Allocation]:
+        """Every live block, sorted by offset."""
+        return [
+            Allocation(off, self.block_size(order))
+            for off, order in sorted(self._live.items())
+        ]
+
     def allocate(self, size: int) -> Allocation:
         """Grant a block of the smallest power-of-two size >= *size*."""
         if size <= 0:
             raise AllocationError(f"allocation size must be positive, got {size}")
         order = self._order_for(size)
         if order > self._max_order:
+            self.fail_count += 1
             raise AllocationError(f"{size} bytes exceeds buddy capacity {self.capacity}")
         # find the smallest order with a free block, splitting down
         source = order
         while source <= self._max_order and not self._free[source]:
             source += 1
         if source > self._max_order:
+            self.fail_count += 1
             raise AllocationError(
                 f"buddy allocator exhausted for {size} bytes (order {order})"
             )
@@ -205,14 +338,15 @@ class BuddyAllocator:
         self._live[offset] = order
         granted = self.block_size(order)
         self.bytes_allocated += granted
+        self.alloc_count += 1
         return Allocation(offset, granted)
 
     def free(self, allocation: Allocation | int) -> None:
         """Return a block; buddies recombine as far as possible."""
-        offset = allocation.offset if isinstance(allocation, Allocation) else allocation
+        offset = handle_offset(allocation)
         order = self._live.pop(offset, None)
         if order is None:
-            raise AllocationError(f"free() of unknown offset {offset}")
+            raise self._classify_bad_free(offset)
         self.bytes_allocated -= self.block_size(order)
         while order < self._max_order:
             buddy = offset ^ self.block_size(order)
@@ -222,6 +356,24 @@ class BuddyAllocator:
             offset = min(offset, buddy)
             order += 1
         self._free[order].add(offset)
+
+    def _classify_bad_free(self, offset: int) -> AllocationError:
+        if offset < 0 or offset >= self.capacity or offset % self.min_block:
+            return UnknownHandleError(
+                f"free() of offset {offset}: not a block boundary inside "
+                f"[0, {self.capacity})"
+            )
+        for order, blocks in enumerate(self._free):
+            block = self.block_size(order)
+            if (offset // block) * block in blocks:
+                return DoubleFreeError(
+                    f"free() of offset {offset}: range is already free "
+                    f"(inside order-{order} block)"
+                )
+        return UnknownHandleError(
+            f"free() of offset {offset}: no allocation starts there "
+            "(mid-block or never granted)"
+        )
 
     def check_invariants(self) -> None:
         """Assert internal consistency (used by property tests)."""

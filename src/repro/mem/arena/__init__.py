@@ -1,0 +1,38 @@
+"""Pluggable shared-pool allocators and the gauntlet that ranks them.
+
+See :mod:`repro.mem.arena.protocol` for the strategy registry and
+:mod:`repro.mem.arena.gauntlet` for adversarial trace replay.
+"""
+
+from repro.mem.arena.bestfit import BestFitAllocator
+from repro.mem.arena.gauntlet import Gauntlet, GauntletReport, run_gauntlet
+from repro.mem.arena.protocol import (
+    ALLOCATORS,
+    AllocatorProtocol,
+    RelocatableAllocator,
+    TenantAwareAllocator,
+    allocator_names,
+    make_allocator,
+)
+from repro.mem.arena.slab import SlabAllocator
+from repro.mem.arena.tenant import TenantArenaAllocator
+from repro.mem.arena.traces import TRACES, TraceOp, make_trace, trace_names
+
+__all__ = [
+    "ALLOCATORS",
+    "AllocatorProtocol",
+    "BestFitAllocator",
+    "Gauntlet",
+    "GauntletReport",
+    "RelocatableAllocator",
+    "SlabAllocator",
+    "TRACES",
+    "TenantArenaAllocator",
+    "TenantAwareAllocator",
+    "TraceOp",
+    "allocator_names",
+    "make_allocator",
+    "make_trace",
+    "run_gauntlet",
+    "trace_names",
+]

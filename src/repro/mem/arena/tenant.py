@@ -1,0 +1,221 @@
+"""Per-tenant arenas: magazine caches over a shared slab heap.
+
+The paper's shared logical pool serves many servers at once; a single
+global free list would serialize them and let one tenant's churn pollute
+every other tenant's locality.  This strategy gives each tenant a
+*magazine* (tcmalloc's thread cache, jemalloc's tcache) per size class:
+
+* an allocation pops a cached block from the tenant's magazine — no
+  shared-heap traffic at all on a hit;
+* a miss refills the magazine with a batch of ``magazine_size`` blocks
+  from the shared :class:`~repro.mem.arena.slab.SlabAllocator`;
+* a free returns the block to the *owning* tenant's magazine, and a
+  magazine holding more than twice its batch size flushes the excess
+  back to the shared heap so an idle tenant cannot hoard capacity.
+
+``allocate_for(tenant, size)`` is the real entry point (and the method
+:class:`~repro.check.sanitizers.AllocSanitizer` patches — plain
+``allocate`` delegates to it, charging a default tenant, so the base
+:class:`~repro.mem.arena.protocol.AllocatorProtocol` still holds).
+
+Accounting is caller-truthful: ``bytes_allocated`` counts only blocks
+the caller holds; magazine-cached bytes are tracked separately and the
+conservation invariant ties the two views together::
+
+    bytes_allocated + magazine_bytes == central.bytes_allocated
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.errors import AllocationError, ConfigError, DoubleFreeError, UnknownHandleError
+from repro.mem.allocator import Allocation, handle_offset
+from repro.mem.arena.slab import SlabAllocator
+
+#: tenant charged by the plain ``allocate()`` protocol method
+DEFAULT_TENANT = "default"
+
+
+class TenantArenaAllocator:
+    """Per-tenant magazines refilled in batches from a shared slab heap."""
+
+    supports_compaction: bool = False
+
+    def __init__(
+        self,
+        capacity: int,
+        magazine_size: int = 8,
+        quantum: int = 64,
+        slab_bytes: int = 16384,
+        largest_class: int | None = None,
+    ) -> None:
+        if magazine_size <= 0:
+            raise ConfigError(f"magazine_size must be positive, got {magazine_size}")
+        self.central = SlabAllocator(
+            capacity, quantum=quantum, slab_bytes=slab_bytes, largest_class=largest_class
+        )
+        self.capacity = capacity
+        self.magazine_size = magazine_size
+        #: tenant -> class index -> sorted cached block offsets
+        self._magazines: dict[str, dict[int, list[int]]] = {}
+        #: caller-live offset -> (tenant, granted size, large?)
+        self._owner: dict[int, tuple[str, int, bool]] = {}
+        self.bytes_allocated = 0  # caller-live bytes only
+        self.magazine_bytes = 0  # cached in magazines, live at central
+        self.alloc_count = 0
+        self.fail_count = 0
+        self.magazine_hits = 0
+        self.central_refills = 0
+        self.magazine_flushes = 0
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def bytes_free(self) -> int:
+        return self.capacity - self.bytes_allocated
+
+    @property
+    def largest_hole(self) -> int:
+        return self.central.largest_hole
+
+    def fragmentation(self) -> float:
+        """1 - largest_hole/free: magazine-cached bytes count as free to
+        the caller but cannot back a large allocation, so a hoarding
+        magazine shows up here — honestly — as fragmentation."""
+        free = self.bytes_free
+        if free == 0:
+            return 0.0
+        return 1.0 - min(free, self.largest_hole) / free
+
+    def live_allocations(self) -> list[Allocation]:
+        """Every caller-live block, sorted by offset."""
+        return sorted(
+            (Allocation(off, size) for off, (_t, size, _lg) in self._owner.items()),
+            key=lambda a: a.offset,
+        )
+
+    def tenants(self) -> list[str]:
+        """Tenants with a magazine, sorted."""
+        return sorted(self._magazines)
+
+    def magazine_depth(self, tenant: str) -> int:
+        """Blocks currently cached for *tenant* across all classes."""
+        return sum(len(m) for m in self._magazines.get(tenant, {}).values())
+
+    # -- allocate / free -----------------------------------------------------
+
+    def allocate(self, size: int) -> Allocation:
+        """Protocol entry point: charge the default tenant."""
+        return self.allocate_for(DEFAULT_TENANT, size)
+
+    def allocate_for(self, tenant: str, size: int) -> Allocation:
+        """Grant *size* bytes to *tenant*, magazine-first."""
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        index = self.central.class_for(size)
+        if index is None:
+            # large: straight through the shared heap, no caching
+            try:
+                grant = self.central.allocate(size)
+            except AllocationError:
+                self.fail_count += 1
+                raise
+            self._owner[grant.offset] = (tenant, grant.size, True)
+            self.bytes_allocated += grant.size
+            self.alloc_count += 1
+            return grant
+        block_bytes = self.central.classes[index]
+        magazine = self._magazines.setdefault(tenant, {}).setdefault(index, [])
+        if magazine:
+            self.magazine_hits += 1
+        else:
+            for _ in range(self.magazine_size):
+                try:
+                    block = self.central.allocate(block_bytes)
+                except AllocationError:
+                    break
+                bisect.insort(magazine, block.offset)
+                self.magazine_bytes += block_bytes
+            if not magazine:
+                self.fail_count += 1
+                raise AllocationError(
+                    f"tenant {tenant!r}: shared heap exhausted refilling the "
+                    f"{block_bytes}B magazine (caller-live={self.bytes_allocated}, "
+                    f"cached={self.magazine_bytes})"
+                )
+            self.central_refills += 1
+        offset = magazine.pop(0)
+        self.magazine_bytes -= block_bytes
+        self._owner[offset] = (tenant, block_bytes, False)
+        self.bytes_allocated += block_bytes
+        self.alloc_count += 1
+        return Allocation(offset, block_bytes)
+
+    def free(self, allocation: Allocation | int) -> None:
+        """Return a block to its owner's magazine (or the heap if large).
+
+        A magazine grown past twice its batch size flushes its highest
+        half back to the shared heap, so churny tenants recycle hot
+        low-offset blocks while idle tenants cannot hoard capacity.
+        """
+        offset = handle_offset(allocation)
+        entry = self._owner.pop(offset, None)
+        if entry is None:
+            raise self._classify_bad_free(offset)
+        tenant, size, large = entry
+        self.bytes_allocated -= size
+        if large:
+            self.central.free(offset)
+            return
+        index = self.central.class_for(size)
+        assert index is not None and self.central.classes[index] == size
+        magazine = self._magazines.setdefault(tenant, {}).setdefault(index, [])
+        bisect.insort(magazine, offset)
+        self.magazine_bytes += size
+        if len(magazine) > 2 * self.magazine_size:
+            while len(magazine) > self.magazine_size:
+                self.central.free(magazine.pop())  # flush highest offsets
+                self.magazine_bytes -= size
+            self.magazine_flushes += 1
+
+    def _classify_bad_free(self, offset: int) -> AllocationError:
+        if offset < 0 or offset >= self.capacity:
+            return UnknownHandleError(
+                f"free() of offset {offset} outside the managed range "
+                f"[0, {self.capacity})"
+            )
+        for tenant in sorted(self._magazines):
+            for index, magazine in sorted(self._magazines[tenant].items()):
+                i = bisect.bisect_left(magazine, offset)
+                if i < len(magazine) and magazine[i] == offset:
+                    return DoubleFreeError(
+                        f"free() of offset {offset}: block is already free, "
+                        f"cached in tenant {tenant!r}'s "
+                        f"{self.central.classes[index]}B magazine"
+                    )
+        return self.central._classify_bad_free(offset)
+
+    def check_invariants(self) -> None:
+        """Assert internal consistency (used by property tests)."""
+        self.central.check_invariants()
+        assert (
+            self.bytes_allocated + self.magazine_bytes == self.central.bytes_allocated
+        ), "caller + magazine bytes must equal the shared heap's grants"
+        owned = sum(size for _t, size, _lg in self._owner.values())
+        assert owned == self.bytes_allocated, "caller byte conservation"
+        central_live = {a.offset for a in self.central.live_allocations()}
+        cached = 0
+        for tenant, per_class in self._magazines.items():
+            for index, magazine in per_class.items():
+                assert magazine == sorted(magazine), "magazine unsorted"
+                cached += len(magazine) * self.central.classes[index]
+                for off in magazine:
+                    assert off in central_live, "magazine caches a dead block"
+                    assert off not in self._owner, "block both cached and caller-live"
+        assert cached == self.magazine_bytes, "magazine byte conservation"
+        for off in self._owner:
+            assert off in central_live, "caller holds a block the heap freed"
+        spans = sorted((a.offset, a.end) for a in self.live_allocations())
+        for (_s0, e0), (s1, _e1) in zip(spans, spans[1:]):
+            assert e0 <= s1, "live allocations overlap"

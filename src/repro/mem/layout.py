@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import typing as _t
 
 from repro.errors import AddressError, ConfigError
 from repro.units import mib
@@ -170,7 +171,9 @@ class PageGeometry:
         last = (int(addr) + size - 1) // self.extent_bytes
         return range(first, last + 1)
 
-    def split_by_page(self, addr: GlobalAddress | int, size: int):
+    def split_by_page(
+        self, addr: GlobalAddress | int, size: int
+    ) -> _t.Iterator[tuple[int, int, int]]:
         """Yield (page_index, offset_in_page, chunk_size) covering the range."""
         pos = int(addr)
         end = pos + size

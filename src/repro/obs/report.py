@@ -2,7 +2,8 @@
 
 Instrumented layers charge simulated nanoseconds to category attributes
 on whatever span is running (``cat_cache_ns``, ``cat_link_ns``,
-``cat_fabric_ns``, ``cat_dram_ns``, ``cat_queue_ns``); the breakdown
+``cat_fabric_ns``, ``cat_dram_ns``, ``cat_queue_ns``,
+``cat_migration_ns``); the breakdown
 walks each request tree, sums the categories over the subtree, and
 reports them as percentages of the request's wall time.  Time the
 instrumentation did not attribute (pure compute, model bookkeeping)
@@ -24,7 +25,7 @@ from repro.analysis.report import format_table
 from repro.errors import ObservabilityError
 
 #: the latency categories, in display order
-CATEGORIES = ("cache", "link", "fabric", "dram", "queue")
+CATEGORIES = ("cache", "link", "fabric", "dram", "queue", "migration")
 
 #: root-eligible components: a request tree starts at a driver request /
 #: microbenchmark repetition, or a bare session access outside any request

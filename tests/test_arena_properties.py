@@ -1,0 +1,144 @@
+"""Stateful property tests of the shared-pool allocator contract.
+
+One :class:`AllocatorMachine` drives every registered strategy
+(first-fit, best-fit, buddy, slab, tenant-arena) through random
+allocate/free/misuse/compaction interleavings and checks, after every
+step, the contract :class:`repro.mem.arena.protocol.AllocatorProtocol`
+promises:
+
+* granted ranges never overlap a live grant;
+* byte accounting conserves — ``bytes_allocated`` equals the sum of
+  granted sizes, and each implementation's own ``check_invariants``
+  (hole coalescing, index consistency, slab partitioning, magazine
+  conservation) holds;
+* misuse raises typed :class:`~repro.errors.AllocationError`
+  subclasses, never corrupts state;
+* draining every live block returns the arena to one maximal hole
+  (except the tenant arena, whose magazines legitimately cache blocks
+  — there the caller-byte view must reach zero instead).
+
+This subsumes the ad-hoc ``*_under_random_ops`` tests that previously
+covered only the two classic allocators.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.migration import ArenaCompactor
+from repro.errors import AllocationError
+from repro.mem.allocator import Allocation
+from repro.mem.arena import allocator_names, make_allocator
+
+CAPACITY = 1 << 16
+
+TENANTS = ("default", "t0", "t1")
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    """Random op sequences against one strategy, contract-checked."""
+
+    #: overridden per generated subclass below
+    allocator_name: str = "first-fit"
+
+    @initialize()
+    def setup(self) -> None:
+        self.allocator = make_allocator(self.allocator_name, CAPACITY)
+        self.live: list[Allocation] = []
+
+    # -- rules ----------------------------------------------------------------
+
+    @rule(size=st.integers(1, 3000), tenant=st.sampled_from(TENANTS))
+    def allocate(self, size: int, tenant: str) -> None:
+        try:
+            if tenant != "default" and hasattr(self.allocator, "allocate_for"):
+                grant = self.allocator.allocate_for(tenant, size)
+            else:
+                grant = self.allocator.allocate(size)
+        except AllocationError:
+            return
+        assert grant.size >= size, "granted less than requested"
+        assert 0 <= grant.offset and grant.end <= CAPACITY, "grant out of range"
+        self.live.append(grant)
+
+    @precondition(lambda self: self.live)
+    @rule(index=st.integers(0, 10))
+    def free(self, index: int) -> None:
+        grant = self.live.pop(index % len(self.live))
+        self.allocator.free(grant)
+
+    @rule()
+    def free_unknown_is_typed_and_harmless(self) -> None:
+        before = self.allocator.bytes_allocated
+        with pytest.raises(AllocationError):
+            self.allocator.free(CAPACITY + 64)
+        assert self.allocator.bytes_allocated == before
+
+    @rule()
+    def nonpositive_alloc_rejected(self) -> None:
+        with pytest.raises(AllocationError):
+            self.allocator.allocate(0)
+
+    @precondition(lambda self: self.allocator.supports_compaction and self.live)
+    @rule()
+    def compact(self) -> None:
+        """A full compaction pass must preserve every live block under a
+        remapped handle and never increase fragmentation."""
+        frag_before = self.allocator.fragmentation()
+        report = ArenaCompactor(threshold=0.01).compact(self.allocator)
+        assert report.fragmentation_after <= frag_before + 1e-9
+        self.live = [
+            Allocation(report.moves.get(a.offset, a.offset), a.size)
+            for a in self.live
+        ]
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def contract_holds(self) -> None:
+        self.allocator.check_invariants()
+        assert self.allocator.bytes_allocated == sum(a.size for a in self.live), (
+            "byte conservation against the caller's view"
+        )
+        spans = sorted((a.offset, a.end) for a in self.live)
+        for (_s0, e0), (s1, _e1) in zip(spans, spans[1:]):
+            assert e0 <= s1, "granted ranges overlap"
+        assert 0.0 <= self.allocator.fragmentation() <= 1.0
+
+    def teardown(self) -> None:
+        # drain: caller bytes must reach zero; coalescing must restore
+        # one maximal hole wherever no cache layer retains blocks
+        for grant in self.live:
+            self.allocator.free(grant)
+        self.live = []
+        self.allocator.check_invariants()
+        assert self.allocator.bytes_allocated == 0, "drain left live bytes"
+        if self.allocator_name != "tenant-arena":
+            assert self.allocator.largest_hole == CAPACITY, (
+                "full drain did not coalesce back to one hole"
+            )
+        super().teardown()
+
+
+# one deterministic TestCase per registered strategy, so every allocator
+# gets the full example budget (sampled_from inside one machine would
+# spread coverage unevenly)
+for _name in allocator_names():
+    _machine = type(
+        f"{_name.title().replace('-', '')}Machine",
+        (AllocatorMachine,),
+        {"allocator_name": _name},
+    )
+    _machine.TestCase.settings = settings(
+        max_examples=25, stateful_step_count=40, deadline=None
+    )
+    globals()[f"TestArena{_name.title().replace('-', '')}"] = _machine.TestCase
+del _name, _machine

@@ -1,10 +1,10 @@
-"""Tests for the free-list and buddy allocators, including stateful
-property tests of their conservation invariants."""
+"""Tests for the free-list and buddy allocators.  Their stateful
+conservation-invariant coverage lives in ``test_arena_properties.py``,
+shared with the other three arena strategies."""
 
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.errors import AllocationError, ConfigError
 from repro.mem.allocator import BuddyAllocator, FreeListAllocator
@@ -100,27 +100,8 @@ def test_freelist_rejects_nonpositive_alloc():
         FreeListAllocator(1024).allocate(0)
 
 
-@settings(max_examples=60, deadline=None)
-@given(
-    ops=st.lists(
-        st.tuples(st.sampled_from(["alloc", "free"]), st.integers(1, 500)),
-        max_size=60,
-    ),
-    policy=st.sampled_from(["first-fit", "best-fit"]),
-)
-def test_freelist_invariants_under_random_ops(ops, policy):
-    alloc = FreeListAllocator(4096, policy=policy, align=64)
-    live = []
-    for op, size in ops:
-        if op == "alloc":
-            try:
-                live.append(alloc.allocate(size))
-            except AllocationError:
-                pass
-        elif live:
-            alloc.free(live.pop(size % len(live)))
-        alloc.check_invariants()
-    assert alloc.bytes_allocated == sum(a.size for a in live)
+# stateful invariant coverage (random alloc/free interleavings) lives in
+# tests/test_arena_properties.py now, uniformly across all five strategies
 
 
 # --- buddy ------------------------------------------------------------------
@@ -180,26 +161,6 @@ def test_buddy_config_validation():
         BuddyAllocator(1024, min_block=300)
 
 
-@settings(max_examples=60, deadline=None)
-@given(
-    ops=st.lists(
-        st.tuples(st.sampled_from(["alloc", "free"]), st.integers(1, 2000)),
-        max_size=60,
-    )
-)
-def test_buddy_invariants_under_random_ops(ops):
-    buddy = BuddyAllocator(8192, min_block=256)
-    live = []
-    for op, size in ops:
-        if op == "alloc":
-            try:
-                live.append(buddy.allocate(size))
-            except AllocationError:
-                pass
-        elif live:
-            buddy.free(live.pop(size % len(live)))
-        buddy.check_invariants()
-    # allocations never overlap
-    spans = sorted((a.offset, a.end) for a in live)
-    for (_, prev_end), (next_start, _) in zip(spans, spans[1:]):
-        assert prev_end <= next_start
+def test_buddy_config_validation_rejects_bad_min_block():
+    with pytest.raises(ConfigError):
+        BuddyAllocator(1024, min_block=-256)
