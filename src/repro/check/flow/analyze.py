@@ -1,0 +1,93 @@
+"""Driver for the flow pass: parse once, build the call graph, run rules.
+
+The whole pass holds one parse per file: the same tree feeds the call
+graph (whole-tree facts for LMP013/LMP014) and the per-function CFG
+construction.  Findings come back as the same
+:class:`~repro.check.lint.FileReport` shape the classic linter emits,
+so ``# noqa`` suppression and every output format work unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import typing as _t
+
+from repro.check.flow.callgraph import CallGraph
+from repro.check.flow.rules import FLOW_RULES, FlowContext, FlowRule, analyze_module_tree
+from repro.check.lint import FileReport, _suppressed_rules, iter_python_files
+from repro.check.rules import Violation
+from repro.errors import FlowAnalysisError
+
+
+def _module_name(path: pathlib.Path) -> str:
+    parts = list(path.parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro") :]
+    stem = [p for p in parts[:-1]] + [path.stem]
+    return ".".join(stem)
+
+
+def _apply_noqa(source: str, violations: list[Violation]) -> tuple[Violation, ...]:
+    suppressed = _suppressed_rules(source)
+    if not suppressed:
+        return tuple(violations)
+    return tuple(
+        v
+        for v in violations
+        if not (
+            v.line in suppressed
+            and (suppressed[v.line] is None or v.rule_id in (suppressed[v.line] or ()))
+        )
+    )
+
+
+def analyze_paths(
+    paths: _t.Sequence[pathlib.Path],
+    rules: _t.Sequence[FlowRule] | None = None,
+) -> list[FileReport]:
+    """Run the flow rules over every python file under *paths*."""
+    selected = tuple(rules) if rules is not None else FLOW_RULES
+    files = iter_python_files(paths)
+    parsed: list[tuple[pathlib.Path, str, ast.Module]] = []
+    reports: list[FileReport] = []
+    graph = CallGraph()
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, ValueError) as exc:
+            reports.append(FileReport(path=path, violations=(), parse_error=str(exc)))
+            continue
+        except OSError as exc:
+            raise FlowAnalysisError(f"cannot read {path}: {exc}") from exc
+        graph.add_module(tree, path, _module_name(path))
+        parsed.append((path, source, tree))
+    for path, source, tree in parsed:
+        ctx = FlowContext.for_path(path, graph)
+        violations = _apply_noqa(source, analyze_module_tree(tree, ctx, selected))
+        if violations:
+            reports.append(
+                FileReport(path=path, violations=violations, parse_error=None)
+            )
+    reports.sort(key=lambda r: str(r.path))
+    return reports
+
+
+def analyze_source(
+    source: str,
+    path: pathlib.Path | str = "<memory>",
+    rules: _t.Sequence[FlowRule] | None = None,
+) -> FileReport:
+    """Flow-analyze a single in-memory module (tests and mutants)."""
+    selected = tuple(rules) if rules is not None else FLOW_RULES
+    p = pathlib.Path(path)
+    try:
+        tree = ast.parse(source, filename=str(p))
+    except (SyntaxError, ValueError) as exc:
+        return FileReport(path=p, violations=(), parse_error=str(exc))
+    graph = CallGraph()
+    graph.add_module(tree, p, _module_name(p))
+    ctx = FlowContext.for_path(p, graph)
+    violations = _apply_noqa(source, analyze_module_tree(tree, ctx, selected))
+    return FileReport(path=p, violations=violations, parse_error=None)

@@ -1,0 +1,160 @@
+"""A generic worklist dataflow solver over pluggable abstract domains.
+
+The flow rules each define a :class:`Domain`: a join-semilattice of
+abstract values plus a per-statement transfer function.  The solver
+iterates the CFG to a fixpoint — forward for reaching-facts analyses
+(handle states, held resources, unit taint), backward for liveness
+(the dead-cost-store rule) — and hands back the value *before* and
+*after* every node.
+
+Two conventions keep the solver honest about exceptions:
+
+* along an ``exception`` edge out of a forward analysis, the solver
+  propagates ``join(before, after)`` of the raising node — the
+  statement may have executed partially, so facts from either side of
+  it can hold in the handler;
+* node order is deterministic (ascending node id, which is creation
+  order), so two runs over the same source produce identical results —
+  the same discipline the rest of ``repro.check`` holds itself to.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing as _t
+
+from repro.check.flow.cfg import CFG, EXCEPTION, Node
+
+T = _t.TypeVar("T")
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class Domain(_t.Generic[T]):
+    """One abstract domain: lattice + transfer.  Subclasses override."""
+
+    #: ``forward`` or ``backward``
+    direction: _t.ClassVar[str] = FORWARD
+
+    def boundary(self, cfg: CFG) -> T:
+        """Value at the entry (forward) or the exits (backward)."""
+        raise NotImplementedError
+
+    def bottom(self, cfg: CFG) -> T:
+        """Identity element for :meth:`join` (the "no paths yet" value)."""
+        raise NotImplementedError
+
+    def join(self, a: T, b: T) -> T:
+        raise NotImplementedError
+
+    def transfer(self, node: Node, value: T) -> T:
+        """Abstract effect of *node* on *value* (must not mutate it)."""
+        raise NotImplementedError
+
+    def exception_value(self, node: Node, before: T, after: T) -> T:
+        """Value carried by an exception edge *out of* this node.
+
+        Default: ``join(before, after)`` — the statement may have run
+        partially.  Domains override this when an effect is atomic with
+        the statement's success (a grant that binds its handle cannot
+        have happened if the binding statement raised)."""
+        return self.join(before, after)
+
+
+@_t.final
+class DataflowResult(_t.Generic[T]):
+    """Fixpoint values around every node of one CFG."""
+
+    def __init__(self, cfg: CFG, before: dict[int, T], after: dict[int, T]) -> None:
+        self.cfg = cfg
+        self._before = before
+        self._after = after
+
+    def before(self, node_id: int) -> T:
+        """Value on entry to the node (forward) / after it (backward
+        analyses still index by execution order: ``before`` is the
+        fact-set flowing *into* the transfer function's input side)."""
+        return self._before[node_id]
+
+    def after(self, node_id: int) -> T:
+        return self._after[node_id]
+
+
+def solve(cfg: CFG, domain: Domain[T], max_iterations: int = 100_000) -> DataflowResult[T]:
+    """Iterate *domain* over *cfg* to a fixpoint.
+
+    ``max_iterations`` is a safety valve against a non-monotone domain;
+    hitting it raises rather than silently reporting a half-converged
+    (and therefore nondeterministic-looking) result.
+    """
+    forward = domain.direction == FORWARD
+    before: dict[int, T] = {}
+    after: dict[int, T] = {}
+    node_ids = sorted(cfg.nodes)
+    for node_id in node_ids:
+        before[node_id] = domain.bottom(cfg)
+        after[node_id] = domain.bottom(cfg)
+    if forward:
+        before[cfg.entry] = domain.boundary(cfg)
+    else:
+        before[cfg.exit] = domain.boundary(cfg)
+        before[cfg.raise_exit] = domain.boundary(cfg)
+
+    worklist: collections.deque[int] = collections.deque(node_ids)
+    queued = set(node_ids)
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if iterations > max_iterations:
+            raise RuntimeError(
+                f"dataflow failed to converge after {max_iterations} iterations "
+                f"({cfg.func.name}:{cfg.func.lineno})"
+            )
+        node_id = worklist.popleft()
+        queued.discard(node_id)
+        node = cfg.node(node_id)
+
+        if forward:
+            incoming = domain.bottom(cfg)
+            if node_id == cfg.entry:
+                incoming = domain.boundary(cfg)
+            for edge in node.pred:
+                if edge.kind == EXCEPTION:
+                    # the raising statement may have run partially
+                    contribution = domain.exception_value(
+                        cfg.node(edge.src), before[edge.src], after[edge.src]
+                    )
+                else:
+                    contribution = after[edge.src]
+                incoming = domain.join(incoming, contribution)
+            before[node_id] = incoming
+            new_after = domain.transfer(node, incoming)
+            if new_after != after[node_id]:
+                after[node_id] = new_after
+                for edge in node.succ:
+                    if edge.dst not in queued:
+                        queued.add(edge.dst)
+                        worklist.append(edge.dst)
+            # exception successors read `before` too: requeue them when
+            # the incoming value changed even if `after` did not
+            for edge in node.succ:
+                if edge.kind == EXCEPTION and edge.dst not in queued:
+                    queued.add(edge.dst)
+                    worklist.append(edge.dst)
+        else:
+            outgoing = domain.bottom(cfg)
+            if node_id in (cfg.exit, cfg.raise_exit):
+                outgoing = domain.boundary(cfg)
+            for edge in node.succ:
+                outgoing = domain.join(outgoing, before[edge.dst])
+            after[node_id] = outgoing
+            new_before = domain.transfer(node, outgoing)
+            if new_before != before[node_id]:
+                before[node_id] = new_before
+                for edge in node.pred:
+                    if edge.src not in queued:
+                        queued.add(edge.src)
+                        worklist.append(edge.src)
+
+    return DataflowResult(cfg, before, after)

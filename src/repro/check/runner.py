@@ -18,7 +18,9 @@ Exit codes (stable, asserted by tests and documented in ``--help``):
   format
 * ``3`` — internal error: a scenario or the checker itself crashed
 * ``4`` — model-checking failure: a protocol spec has a counterexample,
-  or a seeded mutant survived (takes precedence; the runner exits with
+  or a seeded mutant survived
+* ``5`` — flow-analysis failure: a flow rule (LMP011–LMP015) found a
+  violation, or a seeded flow mutant survived (the runner exits with
   the maximum applicable code)
 """
 
@@ -42,6 +44,7 @@ EXIT_FINDINGS = 1
 EXIT_USAGE = 2
 EXIT_INTERNAL = 3
 EXIT_MODEL = 4
+EXIT_FLOW = 5
 
 FORMATS = ("text", "json", "github")
 
@@ -51,13 +54,16 @@ def default_paths() -> list[pathlib.Path]:
     return [pathlib.Path(__file__).resolve().parent.parent]
 
 
-def select_rules(select: _t.Sequence[str] | None) -> tuple[Rule, ...] | None:
-    """Resolve ``--select`` ids to rules; None on an unknown id."""
+def _selected_ids(select: _t.Sequence[str] | None) -> set[str] | None:
+    """Validate ``--select`` ids against the combined lint + flow
+    registries; the empty set means "everything", None means invalid."""
+    from repro.check.flow.rules import FLOW_RULES
+
     if select is None:
-        return ALL_RULES
+        return set()
     wanted = {s.strip().upper() for item in select for s in item.split(",") if s.strip()}
-    known = {rule.id: rule for rule in ALL_RULES}
-    unknown = sorted(wanted - set(known))
+    known = {rule.id for rule in ALL_RULES} | {rule.id for rule in FLOW_RULES}
+    unknown = sorted(wanted - known)
     if unknown:
         print(
             f"repro check: unknown rule id(s): {', '.join(unknown)} "
@@ -65,7 +71,17 @@ def select_rules(select: _t.Sequence[str] | None) -> tuple[Rule, ...] | None:
             file=sys.stderr,
         )
         return None
-    return tuple(known[rule_id] for rule_id in sorted(wanted))
+    return wanted
+
+
+def select_rules(select: _t.Sequence[str] | None) -> tuple[Rule, ...] | None:
+    """Resolve ``--select`` ids to lint rules; None on an unknown id."""
+    wanted = _selected_ids(select)
+    if wanted is None:
+        return None
+    if not wanted:
+        return ALL_RULES
+    return tuple(rule for rule in ALL_RULES if rule.id in wanted)
 
 
 def _scenario_names(requested: _t.Sequence[str]) -> list[str] | None:
@@ -233,16 +249,18 @@ def run_check(
     scope: str = "smoke",
     depth: int | None = None,
     mutants: bool = False,
+    flow: bool = False,
     fmt: str = "text",
     select: _t.Sequence[str] | None = None,
     stream: _t.TextIO | None = None,
 ) -> int:
     """Lint *paths* (default: the installed ``repro`` package), then
-    optionally verify seed determinism, run the race/deadlock detectors
+    optionally run the flow-sensitive dataflow rules (``--flow``),
+    verify seed determinism, run the race/deadlock detectors
     over the named scenarios, and model-check the named protocol specs
     (with *mutants*, also self-test the checker against seeded bugs).
     Returns the exit code documented in the module docstring
-    (0/1/2/3/4)."""
+    (0/1/2/3/4/5)."""
     if stream is None:
         stream = sys.stdout
     if fmt not in FORMATS:
@@ -256,9 +274,10 @@ def run_check(
         if not target.exists():
             print(f"repro check: no such path: {target}", file=sys.stderr)
             return EXIT_USAGE
-    rules = select_rules(select)
-    if rules is None:
+    selected_ids = _selected_ids(select)
+    if selected_ids is None:
         return EXIT_USAGE
+    rules = tuple(r for r in ALL_RULES if not selected_ids or r.id in selected_ids)
     determinism_names: list[str] | None = None
     if determinism is not None:
         determinism_names = _scenario_names(determinism)
@@ -286,8 +305,8 @@ def run_check(
         if depth is not None and depth < 1:
             print(f"repro check: depth must be >= 1, got {depth}", file=sys.stderr)
             return EXIT_USAGE
-    elif mutants:
-        print("repro check: --mutants requires --model", file=sys.stderr)
+    if mutants and model is None and not flow:
+        print("repro check: --mutants requires --model or --flow", file=sys.stderr)
         return EXIT_USAGE
 
     try:
@@ -316,6 +335,62 @@ def run_check(
                 )
             else:
                 print(f"repro check: {file_count} file(s) clean", file=stream)
+
+        flow_reports: list[FileReport] = []
+        flow_mutant_reports: list[_t.Any] = []
+        flow_elapsed = 0.0
+        if flow:
+            from repro.check.flow.analyze import analyze_paths
+            from repro.check.flow.rules import FLOW_RULES
+
+            flow_rules = tuple(
+                r for r in FLOW_RULES if not selected_ids or r.id in selected_ids
+            )
+            flow_started = time.perf_counter()
+            flow_reports = analyze_paths(targets, flow_rules)
+            flow_elapsed = time.perf_counter() - flow_started
+            flow_violations = sum(len(r.violations) for r in flow_reports)
+            flow_parse_errors = [r for r in flow_reports if r.parse_error]
+            if flow_violations or flow_parse_errors:
+                exit_code = max(exit_code, EXIT_FLOW)
+            if fmt != "json":
+                _emit_lint(flow_reports, fmt, stream)
+                if flow_violations:
+                    print(
+                        f"repro check --flow: {flow_violations} finding(s) in "
+                        f"{len([r for r in flow_reports if r.violations])} of "
+                        f"{file_count} file(s)  [{flow_elapsed:.2f}s]",
+                        file=stream,
+                    )
+                else:
+                    print(
+                        f"repro check --flow: {file_count} file(s) clean  "
+                        f"[{flow_elapsed:.2f}s]",
+                        file=stream,
+                    )
+            if mutants:
+                from repro.check.flow.mutants import run_flow_mutants
+
+                flow_mutant_reports = list(run_flow_mutants())
+                flow_missed = [r for r in flow_mutant_reports if not r.caught]
+                if fmt != "json":
+                    for report in flow_mutant_reports:
+                        print(report.render(), file=stream)
+                    print(
+                        f"flow mutation harness: "
+                        f"{len(flow_mutant_reports) - len(flow_missed)}"
+                        f"/{len(flow_mutant_reports)} seeded defect(s) caught",
+                        file=stream,
+                    )
+                if fmt == "github":
+                    for report in flow_missed:
+                        print(
+                            f"::error title=flow mutant survived ({report.name})::"
+                            f"{_github_escape(report.description)}",
+                            file=stream,
+                        )
+                if flow_missed:
+                    exit_code = max(exit_code, EXIT_FLOW)
 
         determinism_reports: list[DeterminismReport] = []
         if determinism_names is not None:
@@ -465,6 +540,27 @@ def run_check(
                     for record in model_records
                 ],
                 "mutants": [report.to_json() for report in mutant_reports],
+                "flow": {
+                    "enabled": flow,
+                    "elapsed_s": flow_elapsed,
+                    "violations": [
+                        {
+                            "rule": v.rule_id,
+                            "path": str(v.path),
+                            "line": v.line,
+                            "col": v.col + 1,
+                            "message": v.message,
+                        }
+                        for r in flow_reports
+                        for v in r.violations
+                    ],
+                    "parse_errors": [
+                        {"path": str(r.path), "error": r.parse_error}
+                        for r in flow_reports
+                        if r.parse_error
+                    ],
+                },
+                "flow_mutants": [report.to_json() for report in flow_mutant_reports],
             }
             json.dump(payload, stream, indent=2)
             stream.write("\n")

@@ -219,9 +219,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check_cmd = commands.add_parser(
         "check",
-        help="run the LMP determinism linter (and optionally seed-determinism "
-        "scenarios, the race/deadlock detectors, and the protocol model "
-        "checker)",
+        help="run the LMP determinism linter (and optionally the flow-"
+        "sensitive dataflow rules, seed-determinism scenarios, the "
+        "race/deadlock detectors, and the protocol model checker)",
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog=(
             "exit codes:\n"
@@ -232,7 +232,9 @@ def build_parser() -> argparse.ArgumentParser:
             " format\n"
             "  3  internal error: a scenario or the checker itself crashed\n"
             "  4  model-checking failure: a protocol spec has a"
-            " counterexample, or a seeded mutant survived"
+            " counterexample, or a seeded mutant survived\n"
+            "  5  flow-analysis failure: a flow rule (LMP011-LMP015) found a"
+            " violation, or a seeded flow mutant survived"
         ),
     )
     check_cmd.add_argument(
@@ -286,10 +288,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound model exploration to N actions deep (default: exhaustive)",
     )
     check_cmd.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the flow-sensitive dataflow rules (LMP011-LMP015: "
+        "handle lifecycle, leak-on-path, unit confusion, yield discipline, "
+        "dead cost stores) over the lint targets",
+    )
+    check_cmd.add_argument(
         "--mutants",
         action="store_true",
-        help="with --model: self-test the checker by seeding known protocol "
-        "bugs; every mutant must die with a counterexample",
+        help="with --model and/or --flow: self-test the checker by seeding "
+        "known bugs; every mutant must die with file:line evidence",
     )
     check_cmd.add_argument(
         "--format",
@@ -326,6 +335,7 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             scope=args.scope,
             depth=args.depth,
             mutants=args.mutants,
+            flow=args.flow,
             fmt=args.fmt,
             select=args.select,
         )

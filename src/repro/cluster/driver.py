@@ -33,6 +33,8 @@ from repro.units import us
 from repro.workloads.generators import uniform_trace
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    import random
+
     from repro.core.api import LmpSession, Mapping
     from repro.sim.process import Process
 
@@ -156,7 +158,15 @@ class ClusterDriver:
             self._lock = session.spinlock()
         return self._lock
 
-    def _data_op(self, session, mapping, offset, size, lock, rng):
+    def _data_op(
+        self,
+        session: "LmpSession",
+        mapping: "Mapping",
+        offset: int,
+        size: int,
+        lock: _t.Any,
+        rng: "random.Random",
+    ) -> _t.Generator[_t.Any, _t.Any, str]:
         """One read or write, optionally inside the shared spinlock's
         critical section; returns the op kind for the request span."""
         mix = self.mix
@@ -186,7 +196,9 @@ class ClusterDriver:
             self._tenant_body(spec, ops), name=f"tenant.{spec.tenant_id}"
         )
 
-    def _tenant_body(self, spec: TenantSpec, ops: int):
+    def _tenant_body(
+        self, spec: TenantSpec, ops: int
+    ) -> _t.Generator[_t.Any, _t.Any, int | None]:
         mix = self.mix
         manager = self.manager
         obs = ClusterDriver._obs

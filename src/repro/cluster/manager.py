@@ -221,7 +221,9 @@ class PoolManager:
             name=f"acquire.{tenant_id}",
         )
 
-    def _acquire_body(self, tenant_id: str, size: int, name: str):
+    def _acquire_body(
+        self, tenant_id: str, size: int, name: str
+    ) -> _t.Generator[_t.Any, Lease, Lease]:
         tenant = self.tenant(tenant_id)
         footprint = self.footprint(size)
         verdict = self.admission.decide(
@@ -382,7 +384,7 @@ class PoolManager:
             self._sweeper_body(duration, period), name="cluster.sweeper"
         )
 
-    def _sweeper_body(self, duration: float, period: float):
+    def _sweeper_body(self, duration: float, period: float) -> _t.Generator[_t.Any, _t.Any, int]:
         expired_total = 0
         ticks = max(1, int(duration // period))
         for _tick in range(ticks):

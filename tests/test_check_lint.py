@@ -123,6 +123,27 @@ def test_lmp003_fix_file_roundtrip(tmp_path):
     assert fix_file(target) == 0  # already clean
 
 
+def test_lmp003_fix_is_idempotent(tmp_path):
+    # running the autofixer twice must be byte-identical to running it
+    # once — a second pass must neither re-wrap (`sorted(sorted(...))`)
+    # nor disturb untouched lines
+    target_dir = tmp_path / "repro" / "sim"
+    target_dir.mkdir(parents=True)
+    target = target_dir / "bad.py"
+    target.write_text(
+        "hosts = {2, 1}\n"
+        "peers = {h + 1 for h in hosts}\n"
+        "for h in hosts:\n"
+        "    print(h)\n"
+        "for p in peers:\n"
+        "    print(p)\n"
+    )
+    fix_file(target)
+    once = target.read_bytes()
+    fix_file(target)
+    assert target.read_bytes() == once
+
+
 # --- LMP004 float time equality -----------------------------------------------
 
 

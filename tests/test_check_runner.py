@@ -137,11 +137,113 @@ def test_exit_internal_on_scenario_crash(clean_tree, monkeypatch):
 
 
 def test_exit_codes_are_distinct_and_documented():
-    codes = {EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, EXIT_INTERNAL, runner_mod.EXIT_MODEL}
-    assert codes == {0, 1, 2, 3, 4}
+    codes = {
+        EXIT_CLEAN,
+        EXIT_FINDINGS,
+        EXIT_USAGE,
+        EXIT_INTERNAL,
+        runner_mod.EXIT_MODEL,
+        runner_mod.EXIT_FLOW,
+    }
+    assert codes == {0, 1, 2, 3, 4, 5}
     doc = runner_mod.__doc__
     for code in sorted(codes):
         assert f"``{code}``" in doc
+
+
+# --- --flow -----------------------------------------------------------------------
+
+FLOW_BAD_SOURCE = (
+    "def f(alloc, n):\n"
+    "    h = alloc.allocate(n)\n"
+    "    alloc.free(h)\n"
+    "    alloc.free(h)\n"
+)
+
+
+@pytest.fixture
+def flow_dirty_tree(tmp_path: pathlib.Path) -> pathlib.Path:
+    tree = tmp_path / "repro" / "mem"
+    tree.mkdir(parents=True)
+    (tree / "bad_flow.py").write_text(FLOW_BAD_SOURCE)
+    return tmp_path
+
+
+def test_flow_exit_five_on_finding(flow_dirty_tree):
+    stream = io.StringIO()
+    code = run_check([flow_dirty_tree], flow=True, stream=stream)
+    assert code == runner_mod.EXIT_FLOW
+    assert "LMP011" in stream.getvalue()
+
+
+def test_flow_clean_tree_exits_zero(clean_tree):
+    stream = io.StringIO()
+    assert run_check([clean_tree], flow=True, stream=stream) == EXIT_CLEAN
+    assert "--flow" in stream.getvalue()
+
+
+def test_flow_off_ignores_flow_findings(flow_dirty_tree):
+    # without --flow the dirty tree passes the classic lint
+    assert run_check([flow_dirty_tree], stream=io.StringIO()) == EXIT_CLEAN
+
+
+def test_flow_noqa_suppresses(flow_dirty_tree):
+    path = flow_dirty_tree / "repro" / "mem" / "bad_flow.py"
+    path.write_text(FLOW_BAD_SOURCE.replace(
+        "    alloc.free(h)\n    alloc.free(h)\n",
+        "    alloc.free(h)\n    alloc.free(h)  # noqa: LMP011\n",
+    ))
+    assert run_check([flow_dirty_tree], flow=True, stream=io.StringIO()) == EXIT_CLEAN
+
+
+def test_flow_select_filters_flow_rules(flow_dirty_tree):
+    code = run_check(
+        [flow_dirty_tree], flow=True, select=["LMP012"], stream=io.StringIO()
+    )
+    assert code == EXIT_CLEAN  # LMP011 not selected
+    code = run_check(
+        [flow_dirty_tree], flow=True, select=["LMP011"], stream=io.StringIO()
+    )
+    assert code == runner_mod.EXIT_FLOW
+
+
+def test_mutants_requires_model_or_flow(clean_tree):
+    assert run_check([clean_tree], mutants=True, stream=io.StringIO()) == EXIT_USAGE
+
+
+def test_flow_mutants_all_caught(clean_tree):
+    stream = io.StringIO()
+    code = run_check([clean_tree], flow=True, mutants=True, stream=stream)
+    assert code == EXIT_CLEAN
+    out = stream.getvalue()
+    assert "MISSED" not in out
+    assert "/15 seeded defect(s) caught" in out
+
+
+def test_flow_json_payload(flow_dirty_tree):
+    stream = io.StringIO()
+    code = run_check([flow_dirty_tree], flow=True, fmt="json", stream=stream)
+    payload = json.loads(stream.getvalue())
+    assert payload["exit_code"] == code == runner_mod.EXIT_FLOW
+    (violation,) = payload["flow"]["violations"]
+    assert violation["rule"] == "LMP011"
+    assert violation["line"] == 4
+    assert violation["path"].endswith("bad_flow.py")
+    assert payload["flow"]["enabled"] is True
+
+
+def test_flow_github_annotations(flow_dirty_tree):
+    stream = io.StringIO()
+    code = run_check([flow_dirty_tree], flow=True, fmt="github", stream=stream)
+    assert code == runner_mod.EXIT_FLOW
+    assert "::error file=" in stream.getvalue()
+    assert "title=LMP011" in stream.getvalue()
+
+
+def test_cli_flow_flag_end_to_end(flow_dirty_tree, capsys):
+    code = main(["check", str(flow_dirty_tree), "--flow"])
+    assert code == runner_mod.EXIT_FLOW
+    assert "LMP011" in capsys.readouterr().out
 
 
 # --- --fix ------------------------------------------------------------------------
