@@ -13,10 +13,12 @@ function with the edges the flow rules (LMP011–LMP015) need:
   ``yield`` — interrupts arrive through yields — a ``raise``, an
   ``assert``) to the innermost handler chain, and from unmatched
   handlers outward;
-* ``finally`` bodies built once, with normal, exceptional, ``return``,
-  ``break`` and ``continue`` continuations merged through them (a
-  deliberate over-approximation: every analysis here is a may/must
-  analysis over path sets, and merging only adds paths);
+* ``finally`` bodies instantiated once per continuation kind (normal
+  completion, exception propagation, ``return``, and per-loop
+  ``break`` / ``continue``), so an exceptional entry resumes its
+  exception after the finally instead of leaking a fake path into the
+  normal fall-through — sharing one instance across continuations
+  would merge "raised" and "completed" states at the join;
 * ``back`` edges for loop repetition so the worklist solver reaches a
   fixpoint over loop-carried state, and ``while``/``for`` ``else``
   clauses entered from the loop test (they run only when no ``break``
@@ -201,6 +203,23 @@ def _can_raise(stmt: ast.stmt) -> bool:
     return False
 
 
+def _irrefutable(case: ast.match_case) -> bool:
+    """True when the case always matches: an unguarded wildcard or bare
+    capture (``case _:`` / ``case name:``), or an ``|``-pattern with an
+    irrefutable alternative."""
+    if case.guard is not None:
+        return False
+
+    def _pat(pattern: ast.pattern) -> bool:
+        if isinstance(pattern, ast.MatchAs):
+            return pattern.pattern is None or _pat(pattern.pattern)
+        if isinstance(pattern, ast.MatchOr):
+            return any(_pat(p) for p in pattern.patterns)
+        return False
+
+    return _pat(case.pattern)
+
+
 @dataclasses.dataclass
 class _TryCtx:
     """Exception routing for the innermost enclosing ``try`` (or the
@@ -209,14 +228,17 @@ class _TryCtx:
     #: nodes a raising statement gets exception edges to (handler
     #: headers, a finally entry, or the raise-exit)
     targets: list[int]
-    #: pending finally entry, if this level has a finalbody
+    #: entry of the exception-propagation finally instance, if this
+    #: level has a finalbody (doubles as the "has a finally" marker)
     finally_entry: int | None = None
-    #: finally exits that still need their continuations wired
-    finally_outs: list[int] = dataclasses.field(default_factory=list)
-    #: continuations requested while building the protected region
-    routes_exit: bool = False
-    routes_break: list["_LoopCtx"] = dataclasses.field(default_factory=list)
-    routes_continue: list["_LoopCtx"] = dataclasses.field(default_factory=list)
+    #: continuations captured while building the protected region:
+    #: source nodes that must traverse a dedicated finally instance
+    #: before proceeding (wired when the ``try`` completes)
+    routes_exit: list[int] = dataclasses.field(default_factory=list)
+    routes_break: list[tuple["_LoopCtx", int]] = dataclasses.field(default_factory=list)
+    routes_continue: list[tuple["_LoopCtx", int]] = dataclasses.field(
+        default_factory=list
+    )
 
 
 @dataclasses.dataclass
@@ -224,6 +246,10 @@ class _LoopCtx:
     """Break/continue routing for the innermost enclosing loop."""
 
     head: int
+    #: ``len(self._trys)`` when the loop was entered — a ``break`` or
+    #: ``continue`` exits only trys *inside* the loop (stack index >=
+    #: this), so finallys of enclosing trys must NOT intercept it
+    try_depth: int = 0
     breaks: list[int] = dataclasses.field(default_factory=list)
 
 
@@ -246,9 +272,14 @@ class _Builder:
     def _exc_targets(self) -> list[int]:
         return self._trys[-1].targets
 
-    def _pending_finally(self) -> _TryCtx | None:
-        """The innermost try level with an unwired finally, if any."""
-        for ctx in reversed(self._trys):
+    def _pending_finally(self, since: int = 0) -> _TryCtx | None:
+        """The innermost try level with an unwired finally, if any.
+
+        *since* restricts the search to try levels entered at stack
+        index >= ``since`` — break/continue pass the loop's
+        ``try_depth`` so only finallys of trys *inside* the loop
+        intercept them (a finally enclosing the loop does not run)."""
+        for ctx in reversed(self._trys[since:]):
             if ctx.finally_entry is not None:
                 return ctx
         return None
@@ -311,7 +342,7 @@ class _Builder:
 
     def _while(self, stmt: ast.While, preds: list[int]) -> list[int]:
         head = self._stmt_node(stmt, preds)
-        loop = _LoopCtx(head=head.id)
+        loop = _LoopCtx(head=head.id, try_depth=len(self._trys))
         self._loops.append(loop)
         body_outs = self._block(stmt.body, [head.id])
         self._loops.pop()
@@ -326,7 +357,7 @@ class _Builder:
 
     def _for(self, stmt: ast.For | ast.AsyncFor, preds: list[int]) -> list[int]:
         head = self._stmt_node(stmt, preds)
-        loop = _LoopCtx(head=head.id)
+        loop = _LoopCtx(head=head.id, try_depth=len(self._trys))
         self._loops.append(loop)
         body_outs = self._block(stmt.body, [head.id])
         self._loops.pop()
@@ -348,8 +379,7 @@ class _Builder:
         if pending is None:
             self.cfg.add_edge(node.id, self.cfg.exit)
         else:
-            self.cfg.add_edge(node.id, _t.cast(int, pending.finally_entry))
-            pending.routes_exit = True
+            pending.routes_exit.append(node.id)
         return []
 
     def _break(self, stmt: ast.Break, preds: list[int]) -> list[int]:
@@ -357,12 +387,11 @@ class _Builder:
         loop = self._loops[-1] if self._loops else None
         if loop is None:
             return []  # malformed source; parse already accepted it though
-        pending = self._pending_finally()
+        pending = self._pending_finally(since=loop.try_depth)
         if pending is None:
             loop.breaks.append(node.id)
         else:
-            self.cfg.add_edge(node.id, _t.cast(int, pending.finally_entry))
-            pending.routes_break.append(loop)
+            pending.routes_break.append((loop, node.id))
         return []
 
     def _continue(self, stmt: ast.Continue, preds: list[int]) -> list[int]:
@@ -370,31 +399,40 @@ class _Builder:
         loop = self._loops[-1] if self._loops else None
         if loop is None:
             return []
-        pending = self._pending_finally()
+        pending = self._pending_finally(since=loop.try_depth)
         if pending is None:
             self.cfg.add_edge(node.id, loop.head, BACK)
         else:
-            self.cfg.add_edge(node.id, _t.cast(int, pending.finally_entry))
-            pending.routes_continue.append(loop)
+            pending.routes_continue.append((loop, node.id))
         return []
 
     def _match(self, stmt: ast.Match, preds: list[int]) -> list[int]:
         node = self._stmt_node(stmt, preds)
-        outs: list[int] = [node.id]  # no case may match
+        outs: list[int] = []
         for case in stmt.cases:
             outs.extend(self._block(case.body, [node.id]))
+        # no-case-matched fall-through — unless the last case is an
+        # unguarded irrefutable pattern (`case _:` / `case name:`),
+        # which always matches, so the spurious path would only dilute
+        # must-analysis precision
+        if not stmt.cases or not _irrefutable(stmt.cases[-1]):
+            outs.append(node.id)
         return outs
 
     def _try(self, stmt: ast.Try, preds: list[int]) -> list[int]:
         outer_targets = self._exc_targets()
 
+        # the exception-propagation instance must exist before the
+        # protected region is built (raising statements target it);
+        # after it runs the exception resumes outward
         fin_entry: int | None = None
-        fin_outs: list[int] = []
         if stmt.finalbody:
             fin_node = self.cfg._new(FINALLY)
             fin_entry = fin_node.id
             # the finally body itself raises to the *outer* targets
-            fin_outs = self._block(stmt.finalbody, [fin_entry])
+            for out in self._block(stmt.finalbody, [fin_entry]):
+                for target in outer_targets:
+                    self.cfg.add_edge(out, target, EXCEPTION)
 
         propagate = [fin_entry] if fin_entry is not None else list(outer_targets)
 
@@ -417,44 +455,82 @@ class _Builder:
         self._trys.pop()
 
         # try/else runs after a clean body; its exceptions skip this
-        # try's handlers but still funnel through the finally
+        # try's handlers but still funnel through the finally.  The
+        # else/handler contexts share ``ctx``'s route lists so a
+        # return/break/continue captured there resumes after the
+        # finally exactly like one captured in the protected body.
+        def _resume_ctx() -> _TryCtx:
+            return _TryCtx(
+                targets=propagate,
+                finally_entry=fin_entry,
+                routes_exit=ctx.routes_exit,
+                routes_break=ctx.routes_break,
+                routes_continue=ctx.routes_continue,
+            )
+
         if stmt.orelse:
-            self._trys.append(_TryCtx(targets=propagate, finally_entry=fin_entry))
+            self._trys.append(_resume_ctx())
             body_outs = self._block(stmt.orelse, body_outs)
             self._trys.pop()
 
         handler_outs: list[int] = []
         for handler, hnode in zip(stmt.handlers, handler_nodes):
-            self._trys.append(_TryCtx(targets=propagate, finally_entry=fin_entry))
+            self._trys.append(_resume_ctx())
             handler_outs.extend(self._block(handler.body, [hnode.id]))
             self._trys.pop()
 
         if fin_entry is None:
             return body_outs + handler_outs
 
-        # normal completions funnel through the single finally body
-        for out in body_outs + handler_outs:
-            self.cfg.add_edge(out, fin_entry)
-        outs = list(fin_outs)
-        # exceptional entry: after the finally the exception propagates
-        for out in fin_outs:
-            for target in outer_targets:
-                self.cfg.add_edge(out, target, EXCEPTION)
-        # return/break/continue captured by this finally resume their
-        # journey after it (possibly through the next finally out)
+        def _instance(preds_: list[int]) -> list[int]:
+            """A fresh finally instance entered from *preds_*."""
+            fnode = self.cfg._new(FINALLY)
+            for pred in preds_:
+                self.cfg.add_edge(pred, fnode.id)
+            return self._block(stmt.finalbody, [fnode.id])
+
+        # normal completions get their own instance and fall through
+        outs: list[int] = []
+        if body_outs + handler_outs:
+            outs = _instance(body_outs + handler_outs)
+
+        # a captured return resumes its journey after a dedicated
+        # instance (possibly through the next enclosing finally)
         if ctx.routes_exit:
+            exit_outs = _instance(ctx.routes_exit)
             pending = self._pending_finally()
-            for out in fin_outs:
-                if pending is None:
+            if pending is None:
+                for out in exit_outs:
                     self.cfg.add_edge(out, self.cfg.exit)
-                else:
-                    self.cfg.add_edge(out, _t.cast(int, pending.finally_entry))
-                    pending.routes_exit = True
-        for loop in ctx.routes_break:
-            loop.breaks.extend(fin_outs)
-        for loop in ctx.routes_continue:
-            for out in fin_outs:
-                self.cfg.add_edge(out, loop.head, BACK)
+            else:
+                pending.routes_exit.extend(exit_outs)
+
+        # break/continue get one instance per loop, then chain through
+        # any finally of a try that is still inside that loop; a
+        # finally *enclosing* the loop never sees them
+        def _per_loop(
+            routes: list[tuple[_LoopCtx, int]],
+        ) -> list[tuple[_LoopCtx, list[int]]]:
+            grouped: dict[int, tuple[_LoopCtx, list[int]]] = {}
+            for loop, src in routes:
+                grouped.setdefault(id(loop), (loop, []))[1].append(src)
+            return list(grouped.values())
+
+        for loop, srcs in _per_loop(ctx.routes_break):
+            break_outs = _instance(srcs)
+            pending = self._pending_finally(since=loop.try_depth)
+            if pending is None:
+                loop.breaks.extend(break_outs)
+            else:
+                pending.routes_break.extend((loop, out) for out in break_outs)
+        for loop, srcs in _per_loop(ctx.routes_continue):
+            continue_outs = _instance(srcs)
+            pending = self._pending_finally(since=loop.try_depth)
+            if pending is None:
+                for out in continue_outs:
+                    self.cfg.add_edge(out, loop.head, BACK)
+            else:
+                pending.routes_continue.extend((loop, out) for out in continue_outs)
         return outs
 
 

@@ -979,7 +979,11 @@ class DeadCostStoreRule(FlowRule):
 
     def check_function(self, cfg: CFG, ctx: FlowContext) -> list[Violation]:
         result = solve(cfg, _LivenessDomain())
-        findings: list[Violation] = []
+        # a statement can occupy several CFG nodes (finally bodies are
+        # instantiated once per continuation); the store is dead only
+        # when it is dead in EVERY instance — a cost read on the normal
+        # fall-through is charged even if the exception instance dies
+        candidates: dict[int, tuple[ast.stmt, str, list[bool]]] = {}
         for node in cfg.statements():
             stmt = node.stmt
             target: ast.Name | None = None
@@ -992,13 +996,17 @@ class DeadCostStoreRule(FlowRule):
                     target = stmt.target
             if target is None or not _is_cost_name(target.id):
                 continue
-            live_out = result.after(node.id)
-            if target.id not in live_out:
+            assert stmt is not None
+            entry = candidates.setdefault(id(stmt), (stmt, target.id, []))
+            entry[2].append(target.id not in result.after(node.id))
+        findings: list[Violation] = []
+        for stmt, name, dead in candidates.values():
+            if all(dead):
                 findings.append(
                     self.violation(
                         ctx,
-                        stmt if stmt is not None else target,
-                        f"cost accumulator {target.id!r} is computed here but "
+                        stmt,
+                        f"cost accumulator {name!r} is computed here but "
                         "never read afterwards on any path — the cost is never "
                         "charged to the DES clock (or any report)",
                     )
@@ -1028,5 +1036,12 @@ def analyze_module_tree(
         cfg = build_cfg(func)
         for rule in applicable:
             violations.extend(rule.check_function(cfg, ctx))
+    # per-continuation finally instances duplicate statement nodes;
+    # identical findings from two instances collapse to one
+    unique: dict[tuple[int, int, str, str], Violation] = {}
+    for violation in violations:
+        key = (violation.line, violation.col, violation.rule_id, violation.message)
+        unique.setdefault(key, violation)
+    violations = list(unique.values())
     violations.sort(key=lambda v: (v.line, v.col, v.rule_id))
     return violations

@@ -128,18 +128,21 @@ def solve(cfg: CFG, domain: Domain[T], max_iterations: int = 100_000) -> Dataflo
                 else:
                     contribution = after[edge.src]
                 incoming = domain.join(incoming, contribution)
+            before_changed = incoming != before[node_id]
             before[node_id] = incoming
             new_after = domain.transfer(node, incoming)
-            if new_after != after[node_id]:
+            after_changed = new_after != after[node_id]
+            if after_changed:
                 after[node_id] = new_after
-                for edge in node.succ:
-                    if edge.dst not in queued:
-                        queued.add(edge.dst)
-                        worklist.append(edge.dst)
-            # exception successors read `before` too: requeue them when
-            # the incoming value changed even if `after` did not
+            # exception successors read `before` too (via
+            # `exception_value`), so they requeue when either side
+            # changed; normal successors only read `after`
             for edge in node.succ:
-                if edge.kind == EXCEPTION and edge.dst not in queued:
+                if edge.kind == EXCEPTION:
+                    changed = before_changed or after_changed
+                else:
+                    changed = after_changed
+                if changed and edge.dst not in queued:
                     queued.add(edge.dst)
                     worklist.append(edge.dst)
         else:

@@ -15,7 +15,7 @@ Exit codes (stable, asserted by tests and documented in ``--help``):
 * ``1`` — findings: lint violations, parse errors, nondeterministic
   scenarios, races, lockset violations, or deadlocks
 * ``2`` — usage error: unknown path, scenario, rule, spec, scope, or
-  format
+  format, or a flow rule (LMP011–LMP015) selected without ``--flow``
 * ``3`` — internal error: a scenario or the checker itself crashed
 * ``4`` — model-checking failure: a protocol spec has a counterexample,
   or a seeded mutant survived
@@ -277,6 +277,20 @@ def run_check(
     selected_ids = _selected_ids(select)
     if selected_ids is None:
         return EXIT_USAGE
+    if selected_ids and not flow:
+        from repro.check.flow.rules import FLOW_RULES
+
+        flow_selected = selected_ids & {rule.id for rule in FLOW_RULES}
+        if flow_selected:
+            # without the guard a flow-only --select would run zero
+            # rules yet still report "clean" with exit 0
+            noun = "is a flow rule" if len(flow_selected) == 1 else "are flow rules"
+            print(
+                f"repro check: {', '.join(sorted(flow_selected))} {noun}; "
+                "pass --flow to run it",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
     rules = tuple(r for r in ALL_RULES if not selected_ids or r.id in selected_ids)
     determinism_names: list[str] | None = None
     if determinism is not None:

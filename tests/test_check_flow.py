@@ -130,6 +130,116 @@ def test_cfg_generator_yield_inside_except():
     }
 
 
+def test_cfg_break_in_loop_inside_try_finally():
+    # the break exits only the loop: it lands on the statement after
+    # the loop (still inside the try) and must NOT detour through the
+    # finally of the enclosing try
+    cfg = first_cfg(
+        """
+        def f(pool, xs):
+            try:
+                for x in xs:
+                    break
+                settle(pool)
+            finally:
+                cleanup()
+        """
+    )
+    assert cfg.describe_edges() == {
+        ("entry", "For@3", "normal"),
+        ("For@3", "Break@4", "normal"),
+        ("For@3", "Expr@5", "normal"),
+        ("Break@4", "Expr@5", "normal"),
+        ("Expr@5", "finally", "normal"),
+        ("Expr@5", "finally", "exception"),
+        ("finally", "Expr@7", "normal"),
+        ("Expr@7", "exit", "normal"),
+        ("Expr@7", "raise-exit", "exception"),
+    }
+
+
+def test_cfg_break_through_finally_inside_loop():
+    # a finally of a try INSIDE the loop does intercept the break, and
+    # its instance resumes at the statement after the loop
+    cfg = first_cfg(
+        """
+        def f(xs):
+            for x in xs:
+                try:
+                    break
+                finally:
+                    cleanup()
+            tail()
+        """
+    )
+    assert cfg.describe_edges() == {
+        ("entry", "For@2", "normal"),
+        ("For@2", "Break@4", "normal"),
+        ("For@2", "Expr@7", "normal"),
+        ("Break@4", "finally", "normal"),
+        ("finally", "Expr@6", "normal"),
+        ("Expr@6", "Expr@7", "normal"),
+        ("Expr@6", "raise-exit", "exception"),
+        ("Expr@7", "exit", "normal"),
+        ("Expr@7", "raise-exit", "exception"),
+    }
+
+
+def test_cfg_return_from_handler_detours_through_finally():
+    # the return captured in the HANDLER body (not the protected body)
+    # must still traverse the finally and then leave the frame
+    cfg = first_cfg(
+        """
+        def f(x):
+            try:
+                work(x)
+            except ValueError:
+                return None
+            finally:
+                cleanup()
+        """
+    )
+    assert cfg.describe_edges() == {
+        ("entry", "Expr@3", "normal"),
+        ("Expr@3", "handler", "exception"),
+        ("Expr@3", "finally", "exception"),
+        ("Expr@3", "finally", "normal"),
+        ("handler", "Return@5", "normal"),
+        ("handler", "finally", "exception"),
+        ("Return@5", "finally", "normal"),
+        ("finally", "Expr@7", "normal"),
+        ("Expr@7", "exit", "normal"),
+        ("Expr@7", "raise-exit", "exception"),
+    }
+
+
+def test_cfg_match_wildcard_has_no_fallthrough():
+    # an unguarded `case _:` always matches: there is no edge from the
+    # match header straight to the statement after it
+    cfg = first_cfg(
+        """
+        def f(cmd):
+            match cmd:
+                case "get":
+                    read()
+                case _:
+                    write()
+            tail()
+        """
+    )
+    assert cfg.describe_edges() == {
+        ("entry", "Match@2", "normal"),
+        ("Match@2", "Expr@4", "normal"),
+        ("Match@2", "Expr@6", "normal"),
+        ("Expr@4", "Expr@7", "normal"),
+        ("Expr@4", "raise-exit", "exception"),
+        ("Expr@6", "Expr@7", "normal"),
+        ("Expr@6", "raise-exit", "exception"),
+        ("Expr@7", "exit", "normal"),
+        ("Expr@7", "raise-exit", "exception"),
+    }
+
+
 # --- LMP011 handle lifecycle --------------------------------------------------
 
 
@@ -239,6 +349,75 @@ def test_lmp012_grant_is_atomic_with_its_assignment():
             return buffer
         """
     )
+
+
+def test_lmp012_break_inside_try_reaches_release():
+    # the break's real continuation is the release after the loop
+    # (inside the try); routing it through the finally used to invent
+    # a leak path that skipped pool.free
+    assert rule_ids(
+        """
+        def f(pool, n, xs):
+            h = pool.allocate(n)
+            try:
+                for x in xs:
+                    break
+                pool.free(h)
+            finally:
+                log()
+        """
+    ) == []
+
+
+def test_lmp011_continue_inside_try_is_not_a_leak_path():
+    assert rule_ids(
+        """
+        def f(pool, n, xs):
+            h = pool.allocate(n)
+            try:
+                for x in xs:
+                    continue
+                pool.free(h)
+            finally:
+                log()
+        """
+    ) == []
+
+
+def test_lmp011_use_after_free_via_break_path():
+    # the stale use is reachable ONLY through the break: free -> break
+    # -> resolve; the no-iteration path never frees (which is also a
+    # legitimate LMP012 some-paths leak, reported separately)
+    assert "LMP011" in rule_ids(
+        """
+        def f(alloc, n, xs):
+            try:
+                h = alloc.allocate(n)
+                for x in xs:
+                    alloc.free(h)
+                    break
+                alloc.resolve(h)
+            finally:
+                log()
+        """
+    )
+
+
+def test_lmp012_exceptional_finally_does_not_leak_into_normal_exit():
+    # free() raising is an exceptional exit; the finally's exception
+    # instance resumes the raise, so the held-on-raise state must not
+    # bleed into the normal fall-through
+    assert rule_ids(
+        """
+        def f(pool, n):
+            h = pool.allocate(n)
+            try:
+                work()
+                pool.free(h)
+            finally:
+                log()
+        """
+    ) == []
 
 
 # --- LMP013 unit confusion ----------------------------------------------------

@@ -207,6 +207,19 @@ def test_flow_select_filters_flow_rules(flow_dirty_tree):
     assert code == runner_mod.EXIT_FLOW
 
 
+def test_flow_rule_select_without_flow_is_usage_error(flow_dirty_tree, capsys):
+    # a flow-only --select without --flow used to run zero rules and
+    # still report "clean" with exit 0
+    code = run_check([flow_dirty_tree], select=["LMP011"], stream=io.StringIO())
+    assert code == EXIT_USAGE
+    assert "--flow" in capsys.readouterr().err
+    # mixed lint + flow selection without --flow is rejected the same way
+    code = run_check(
+        [flow_dirty_tree], select=["LMP003,LMP011"], stream=io.StringIO()
+    )
+    assert code == EXIT_USAGE
+
+
 def test_mutants_requires_model_or_flow(clean_tree):
     assert run_check([clean_tree], mutants=True, stream=io.StringIO()) == EXIT_USAGE
 
