@@ -121,6 +121,17 @@ def _assert_detectors_uninstalled() -> None:
     if stale:
         raise SystemExit(f"detector seams unexpectedly installed: {', '.join(stale)}")
 
+    # Dispatch fast-path seam: with every monitor and sink above clean, a
+    # fresh engine must take the bare specialized loop, not the
+    # instrumented one — otherwise the numbers below measure hook
+    # dispatch, not the engine.
+    probe = Engine()
+    if probe._step_hooks or probe._event_sinks or Engine._global_event_sinks:
+        raise SystemExit(
+            "fresh engine is instrumented: step hooks or event sinks are "
+            "installed, so the bare dispatch fast path will not engage"
+        )
+
 
 def smoke(events: int = 100_000, tenants: int = 8) -> None:
     import time

@@ -361,6 +361,29 @@ MUTANTS: tuple[FlowMutant, ...] = (
         ),
         defect_line=5,
     ),
+    FlowMutant(
+        name="hybrid-transfer-callback-dropped",
+        rule="LMP014",
+        description=(
+            "bare fluid.transfer() without on_complete drops the wait; the "
+            "hybrid callback form consumes it"
+        ),
+        bad=_src(
+            """
+            def issue(fluid, path, size, finish):
+                fluid.transfer(path, size)
+                fluid.transfer(path, size, on_complete=finish)
+            """
+        ),
+        good=_src(
+            """
+            def issue(fluid, path, size, finish):
+                fluid.transfer(path, size, on_complete=finish)
+                fluid.transfer(path, size, on_complete=finish)
+            """
+        ),
+        defect_line=2,
+    ),
     # -- LMP015: dead cost stores ---------------------------------------------
     FlowMutant(
         name="cost-computed-never-charged",

@@ -880,6 +880,13 @@ class YieldDisciplineRule(FlowRule):
         self, call: ast.Call, cfg: CFG, ctx: FlowContext, waiting: frozenset[str]
     ) -> list[Violation]:
         _recv, attr = _attr_call(call)
+        if attr == "transfer" and any(
+            kw.arg == "on_complete" for kw in call.keywords
+        ):
+            # hybrid fluid handoff: `fluid.transfer(..., on_complete=cb)`
+            # hands the wait to the solver's completion callback — the
+            # event is consumed, just not by a yield
+            return []
         if attr in _ENGINE_WAIT_ATTRS:
             where = "generator" if cfg.is_generator else "non-generator frame"
             return [

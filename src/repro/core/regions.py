@@ -24,6 +24,7 @@ describes.
 from __future__ import annotations
 
 import typing as _t
+from heapq import heappop, heappush
 
 from repro.errors import AllocationError, CapacityError, ConfigError
 from repro.mem.layout import PageGeometry, Region, RegionKind
@@ -64,6 +65,12 @@ class RegionManager:
         self._free_frames: set[int] = set(
             range(self._boundary, capacity, page)
         )
+        #: lazy-deletion min-heap over the free set: every free frame has
+        #: at least one copy here, and stale copies (frames since taken)
+        #: are skipped at pop time.  Lets the hot lowest-first allocation
+        #: run in O(count log n) instead of sorting the whole free set.
+        #: An ascending range is already heap-ordered, so no heapify.
+        self._free_heap: list[int] = list(range(self._boundary, capacity, page))
         self._used_frames: set[int] = set()
         self.resize_events = 0
 
@@ -128,11 +135,24 @@ class RegionManager:
                 f"server {self.server.server_id}: need {count} frames, "
                 f"{len(self._free_frames)} free"
             )
-        ordered = sorted(self._free_frames, reverse=highest)
-        frames = ordered[:count]
-        for frame in frames:
-            self._free_frames.discard(frame)
-            self._used_frames.add(frame)
+        if highest:
+            # rare (compaction only): the heap is min-ordered, fall back
+            # to a sort; stale heap copies are skipped at later pops
+            frames = sorted(self._free_frames, reverse=True)[:count]
+            for frame in frames:
+                self._free_frames.discard(frame)
+                self._used_frames.add(frame)
+            return frames
+        free = self._free_frames
+        used = self._used_frames
+        heap = self._free_heap
+        frames = []
+        while len(frames) < count:
+            frame = heappop(heap)
+            if frame in free:  # stale copies pop through and vanish here
+                free.discard(frame)
+                used.add(frame)
+                frames.append(frame)
         return frames
 
     def free_frames(self, frames: _t.Iterable[int]) -> None:
@@ -143,6 +163,7 @@ class RegionManager:
                 )
             self._used_frames.discard(frame)
             self._free_frames.add(frame)
+            heappush(self._free_heap, frame)
 
     # -- dynamic resizing (§4.5) ---------------------------------------------------
 
@@ -158,6 +179,7 @@ class RegionManager:
         new_boundary = self._boundary - nbytes
         for frame in range(new_boundary, self._boundary, page):
             self._free_frames.add(frame)
+            heappush(self._free_heap, frame)
         self._boundary = new_boundary
         self._coherent_start -= nbytes
         self.resize_events += 1

@@ -9,6 +9,20 @@ use when they are not streaming (streaming goes through
 3. moves the bytes through the fluid model,
 4. optionally moves *real* contents between backing stores, so
    functional layers (migration, erasure coding) keep data intact.
+
+Two execution styles are supported.  The default runs each operation as
+a generator-based :class:`~repro.sim.process.Process` — one init event,
+one resume per wait — which is what every existing scenario exercises
+and what the determinism traces pin down.  With
+``MemoryTransport(..., hybrid_transfers=True)`` the same pipeline runs
+as a callback chain instead: the latency timeout's callback starts the
+fluid transfer, and the transfer's ``on_complete`` callback touches the
+device and triggers the operation's completion event.  No process, no
+generator frame, no relay events — the discrete cost of a bandwidth-
+bound operation drops to its rate *transitions* (start and finish),
+which is the hybrid fluid/DES handoff ROADMAP item 1 calls for.  Timing
+is identical; only the event count (and therefore the trace) differs,
+which is why the flag defaults to off.
 """
 
 from __future__ import annotations
@@ -16,6 +30,7 @@ from __future__ import annotations
 import typing as _t
 
 from repro.fabric.switch import FabricSwitch
+from repro.sim.events import Event
 from repro.sim.fluid import FluidModel
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -31,7 +46,13 @@ class MemoryTransport:
     #: to the latency-breakdown categories.  None = disabled.
     _obs: _t.ClassVar[_t.Any] = None
 
-    def __init__(self, engine: "Engine", fluid: FluidModel, switch: FabricSwitch) -> None:
+    def __init__(
+        self,
+        engine: "Engine",
+        fluid: FluidModel,
+        switch: FabricSwitch,
+        hybrid_transfers: bool = False,
+    ) -> None:
         self.engine = engine
         self.fluid = fluid
         self.switch = switch
@@ -39,15 +60,30 @@ class MemoryTransport:
         self.writes_issued = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        #: callback-chained (processless) reads/writes/copies; see module
+        #: docstring.  Off by default: existing traces stay byte-identical.
+        self.hybrid_transfers = hybrid_transfers
+        #: interned operation names — "read:c0<-s1" etc. — so steady-state
+        #: traffic between the same endpoints never re-renders the f-string
+        self._op_names: dict[tuple[str, str, str], str] = {}
+
+    def _op_name(self, op: str, left: str, sep: str, right: str) -> str:
+        key = (op, left, right)
+        name = self._op_names.get(key)
+        if name is None:
+            name = self._op_names[key] = f"{op}:{left}{sep}{right}"
+        return name
 
     # -- data-path operations (simulation processes) -----------------------------
 
-    def read(self, requester: str, owner: str, addr: int, size: int) -> "Process":
-        """Load *size* bytes; the process returns the bytes (zeros if the
-        range was never written)."""
+    def read(self, requester: str, owner: str, addr: int, size: int) -> "Process | Event":
+        """Load *size* bytes; the returned event fires with the bytes
+        (zeros if the range was never written)."""
+        if self.hybrid_transfers:
+            return self._read_fast(requester, owner, addr, size)
         return self.engine.process(
             self._read_body(requester, owner, addr, size),
-            name=f"read:{requester}<-{owner}",
+            name=self._op_name("read", requester, "<-", owner),
         )
 
     def _read_body(self, requester: str, owner: str, addr: int, size: int):
@@ -70,11 +106,58 @@ class MemoryTransport:
         device = self.switch.device_of(owner)
         return device.read_bytes(addr, size)
 
-    def write(self, requester: str, owner: str, addr: int, data: bytes) -> "Process":
-        """Store *data*; the process returns the number of bytes written."""
+    def _read_fast(self, requester: str, owner: str, addr: int, size: int) -> Event:
+        engine = self.engine
+        route = self.switch.read_route(requester, owner)
+        self.reads_issued += 1
+        self.bytes_read += size
+        obs = MemoryTransport._obs
+        latency = route.loaded_latency()
+        if obs is not None:
+            obs.annotate(
+                op="read", requester=requester, owner=owner,
+                bytes=size, remote=route.remote,
+            )
+        done = engine.event(self._op_name("read", requester, "<-", owner))
+
+        def _finish(started: float) -> None:
+            # mirrors a process body's error semantics: an exception here
+            # fails the operation's event, surfacing in whoever waits on it
+            try:
+                if obs is not None:
+                    obs.route_time(route.remote, latency, engine.now - started)
+                data = self.switch.device_of(owner).read_bytes(addr, size)
+            except Exception as exc:
+                done.fail(exc)
+                return
+            done.succeed(data)
+
+        def _after_latency(_ev: Event) -> None:
+            started = engine.now
+            if route.path:
+                try:
+                    self.fluid.transfer(
+                        route.path,
+                        size,
+                        tag=route.description,
+                        on_complete=lambda _xfer, _s=started: _finish(_s),
+                    )
+                except Exception as exc:
+                    done.fail(exc)
+                return
+            _finish(started)
+
+        engine.timeout(latency).callbacks.append(_after_latency)
+        return done
+
+    def write(self, requester: str, owner: str, addr: int, data: bytes) -> "Process | Event":
+        """Store *data*; the returned event fires with the number of
+        bytes written."""
+        if self.hybrid_transfers:
+            return self._write_fast(requester, owner, addr, data)
         return self.engine.process(
             self._write_body(requester, owner, addr, data),
-            name=f"write:{requester}->{owner}",
+            name=self._op_name("write", requester, "->", owner),
         )
 
     def _write_body(self, requester: str, owner: str, addr: int, data: bytes):
@@ -98,6 +181,49 @@ class MemoryTransport:
         device.write_bytes(addr, data)
         return len(data)
 
+    def _write_fast(self, requester: str, owner: str, addr: int, data: bytes) -> Event:
+        engine = self.engine
+        route = self.switch.write_route(requester, owner)
+        self.writes_issued += 1
+        self.bytes_written += len(data)
+        obs = MemoryTransport._obs
+        latency = route.loaded_latency()
+        if obs is not None:
+            obs.annotate(
+                op="write", requester=requester, owner=owner,
+                bytes=len(data), remote=route.remote,
+            )
+        done = engine.event(self._op_name("write", requester, "->", owner))
+        size = len(data)
+
+        def _finish(started: float) -> None:
+            try:
+                if obs is not None:
+                    obs.route_time(route.remote, latency, engine.now - started)
+                self.switch.device_of(owner).write_bytes(addr, data)
+            except Exception as exc:
+                done.fail(exc)
+                return
+            done.succeed(size)
+
+        def _after_latency(_ev: Event) -> None:
+            started = engine.now
+            if route.path:
+                try:
+                    self.fluid.transfer(
+                        route.path,
+                        size,
+                        tag=route.description,
+                        on_complete=lambda _xfer, _s=started: _finish(_s),
+                    )
+                except Exception as exc:
+                    done.fail(exc)
+                return
+            _finish(started)
+
+        engine.timeout(latency).callbacks.append(_after_latency)
+        return done
+
     def copy(
         self,
         src_owner: str,
@@ -106,13 +232,21 @@ class MemoryTransport:
         dst_addr: int,
         size: int,
         chunk_bytes: int = 16 * (1 << 20),
-    ) -> "Process":
-        """Fabric-level copy (page migration, cache fill), chunked so
-        concurrent traffic shares links fairly; moves real contents.
-        The process returns the copy duration in ns."""
+    ) -> "Process | Event":
+        """Fabric-level copy (page migration, cache fill); moves real
+        contents.  The returned event fires with the copy duration in ns.
+
+        The default (process) style chunks the copy so concurrent traffic
+        re-shares links at chunk granularity; the hybrid style issues one
+        flow for the whole copy — the fluid solver already re-fairs rates
+        continuously at every flow transition, so the chunk loop buys no
+        extra fidelity there.
+        """
+        if self.hybrid_transfers:
+            return self._copy_fast(src_owner, src_addr, dst_owner, dst_addr, size)
         return self.engine.process(
             self._copy_body(src_owner, src_addr, dst_owner, dst_addr, size, chunk_bytes),
-            name=f"copy:{src_owner}->{dst_owner}",
+            name=self._op_name("copy", src_owner, "->", dst_owner),
         )
 
     def _copy_body(
@@ -150,13 +284,64 @@ class MemoryTransport:
             obs.route_time(route.remote, latency, self.engine.now - transferred_at)
         return self.engine.now - started
 
+    def _copy_fast(
+        self,
+        src_owner: str,
+        src_addr: int,
+        dst_owner: str,
+        dst_addr: int,
+        size: int,
+    ) -> Event:
+        engine = self.engine
+        started = engine.now
+        route = self.switch.copy_route(src_owner, dst_owner)
+        src_dev = self.switch.device_of(src_owner)
+        dst_dev = self.switch.device_of(dst_owner)
+        obs = MemoryTransport._obs
+        latency = route.loaded_latency()
+        if obs is not None:
+            obs.annotate(
+                op="copy", requester=src_owner, owner=dst_owner,
+                bytes=size, remote=route.remote,
+            )
+        done = engine.event(self._op_name("copy", src_owner, "->", dst_owner))
+
+        def _finish(transferred_at: float) -> None:
+            try:
+                src_dev.store.copy_to(dst_dev.store, src_addr, dst_addr, size)
+                if obs is not None:
+                    obs.route_time(route.remote, latency, engine.now - transferred_at)
+            except Exception as exc:
+                done.fail(exc)
+                return
+            done.succeed(engine.now - started)
+
+        def _after_latency(_ev: Event) -> None:
+            transferred_at = engine.now
+            if size and route.path:
+                try:
+                    self.fluid.transfer(
+                        route.path,
+                        size,
+                        tag=route.description,
+                        on_complete=lambda _xfer, _t=transferred_at: _finish(_t),
+                    )
+                except Exception as exc:
+                    done.fail(exc)
+                return
+            _finish(transferred_at)
+
+        engine.timeout(latency).callbacks.append(_after_latency)
+        return done
+
     # -- cache-line probe (latency measurements) -------------------------------
 
     def probe_latency(self, requester: str, owner: str) -> "Process":
         """One 64 B load, returning its end-to-end latency — the MLC-style
         probe behind Table 1/Table 2."""
         return self.engine.process(
-            self._probe_body(requester, owner), name=f"probe:{requester}<-{owner}"
+            self._probe_body(requester, owner),
+            name=self._op_name("probe", requester, "<-", owner),
         )
 
     def _probe_body(self, requester: str, owner: str):

@@ -1,20 +1,48 @@
-"""The discrete-event engine: a virtual clock plus an event heap.
+"""The discrete-event engine: a virtual clock plus a pluggable event queue.
 
 The engine is deliberately small.  Time is a float in nanoseconds (see
 :mod:`repro.units`).  Determinism matters for reproducibility, so ties in
 time are broken by a monotonically increasing sequence number — two runs
-of the same model produce byte-identical traces.
+of the same model produce byte-identical traces, under either scheduler.
+
+The dispatch path is specialized for throughput (see
+``docs/performance.md``):
+
+* Two run loops — *bare* (no hooks, no sinks: the common case) and
+  *instrumented* (hooks/sinks hoisted out of the loop) — selected per
+  ``run()`` and re-selected mid-run whenever instrumentation is added
+  or removed (a class-level epoch counter invalidates the bare loop).
+* The future-event set sits behind the :class:`~repro.sim.scheduler
+  .Scheduler` protocol; the default binary heap is driven inline by the
+  bare loop, and a calendar queue is available via
+  ``Engine(scheduler="calendar")``.
+* :class:`~repro.sim.events.Timeout` objects are pooled: a timeout that
+  reaches dispatch with no outside references left is recycled by the
+  next ``engine.timeout(...)`` call instead of re-allocated.
+
+None of this changes observable order: ``(when, seq)`` dispatch order,
+hook/sink call points, and error semantics are identical to the simple
+``step()`` loop, which remains the readable reference implementation.
 """
 
 from __future__ import annotations
 
 import heapq
 import typing as _t
+from sys import getrefcount
 
 from repro.errors import DeadlockError, SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RngStreams
+from repro.sim.scheduler import Scheduler, make_scheduler
+
+#: returned by a drain loop when instrumentation changed under it and the
+#: dispatcher must pick a different specialized loop
+_RESELECT = object()
+
+#: cap on the per-engine recycled-timeout free list
+_TIMEOUT_POOL_MAX = 64
 
 
 class Engine:
@@ -45,17 +73,31 @@ class Engine:
     #: top-level code).  None = one class-attribute test per run() call.
     _monitor: _t.ClassVar[_t.Any] = None
 
-    def __init__(self, seed: int = 0) -> None:
+    #: bumped whenever instrumentation (step hooks / event sinks, on any
+    #: engine) is installed or removed.  The bare dispatch loop snapshots
+    #: it and bails out to reselect when it moves, so a sink registered
+    #: from inside a callback still observes the very next event.
+    _instr_epoch: _t.ClassVar[int] = 0
+
+    def __init__(self, seed: int = 0, scheduler: "str | Scheduler" = "heap") -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
+        self._scheduler = make_scheduler(scheduler)
+        #: the scheduler's backing list when it is heap-shaped, letting
+        #: the hot loops drive ``heapq`` directly; None for other backends
+        self._heap: list[tuple[float, int, Event]] | None = getattr(
+            self._scheduler, "_heap", None
+        )
         self._seq = 0
         self.rng = RngStreams(seed)
-        #: number of events processed, for instrumentation
+        #: number of events processed, for instrumentation.  Counted at
+        #: pop, before callbacks run, so a raising callback still counts.
         self.events_processed = 0
         #: hooks called as fn(engine) before each event is processed
         self._step_hooks: list[_t.Callable[["Engine"], None]] = []
         #: sinks called as fn(engine, when, seq, event) on this engine only
         self._event_sinks: list[_t.Callable[..., None]] = []
+        #: recycled Timeout objects (drain path only; see _drain loops)
+        self._timeout_pool: list[Timeout] = []
 
     # -- clock --------------------------------------------------------------
 
@@ -71,7 +113,29 @@ class Engine:
         return Event(self, name=name)
 
     def timeout(self, delay: float, value: _t.Any = None) -> Timeout:
-        """Create an event that fires *delay* nanoseconds from now."""
+        """Create an event that fires *delay* nanoseconds from now.
+
+        Reuses a pooled :class:`Timeout` when the dispatch loop has
+        recycled one; a pooled instance is indistinguishable from a
+        fresh one (all mutable state is reset here).
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay {delay}")
+            t = pool.pop()
+            t.callbacks = []
+            t._value = value
+            t._ok = True
+            t._defused = False
+            t.delay = delay
+            self._seq += 1
+            heap = self._heap
+            if heap is not None:
+                heapq.heappush(heap, (self._now + delay, self._seq, t))
+            else:
+                self._scheduler.push(self._now + delay, self._seq, t)
+            return t
         return Timeout(self, delay, value)
 
     def process(self, generator: _t.Generator, name: str = "") -> Process:
@@ -93,7 +157,11 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"cannot schedule event {delay}ns in the past")
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        heap = self._heap
+        if heap is not None:
+            heapq.heappush(heap, (self._now + delay, self._seq, event))
+        else:
+            self._scheduler.push(self._now + delay, self._seq, event)
 
     def add_step_hook(self, hook: _t.Callable[["Engine"], None]) -> None:
         """Register *hook* to run before every event dispatch.
@@ -102,6 +170,7 @@ class Engine:
         up to date with the clock.
         """
         self._step_hooks.append(hook)
+        Engine._instr_epoch += 1
 
     def add_event_sink(self, sink: _t.Callable[..., None]) -> None:
         """Register *sink* to observe every event this engine dispatches.
@@ -111,28 +180,39 @@ class Engine:
         and the ``repro.check`` determinism harness build on this.
         """
         self._event_sinks.append(sink)
+        Engine._instr_epoch += 1
 
     @classmethod
     def add_global_event_sink(cls, sink: _t.Callable[..., None]) -> None:
         """Register *sink* on every engine, present and future."""
         cls._global_event_sinks.append(sink)
+        cls._instr_epoch += 1
 
     @classmethod
     def remove_global_event_sink(cls, sink: _t.Callable[..., None]) -> None:
         cls._global_event_sinks.remove(sink)
+        cls._instr_epoch += 1
 
     # -- running -----------------------------------------------------------
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``float('inf')`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        heap = self._heap
+        if heap is not None:
+            return heap[0][0] if heap else float("inf")
+        return self._scheduler.peek_when()
 
     def step(self) -> None:
-        """Process exactly one event."""
-        if not self._heap:
+        """Process exactly one event.
+
+        This is the readable reference implementation of one dispatch;
+        ``run()`` uses specialized loops with identical semantics.
+        """
+        if not len(self._scheduler):
             raise DeadlockError("step() called with an empty event heap")
-        when, seq, event = heapq.heappop(self._heap)
+        when, seq, event = self._scheduler.pop()
         self._now = when
+        self.events_processed += 1
         for hook in self._step_hooks:
             hook(self)
         if self._event_sinks or Engine._global_event_sinks:
@@ -149,20 +229,139 @@ class Engine:
             # A failed event that nobody handled: crash the simulation so
             # errors never pass silently.
             raise event.value
-        self.events_processed += 1
+
+    # -- specialized dispatch loops ----------------------------------------
+    #
+    # Each loop runs events until the queue is dry (returns True), the
+    # stop flag fills or the deadline passes (returns False), or the
+    # instrumentation epoch moves (returns _RESELECT).  `stop` is a list
+    # filled by an event callback; `deadline` is an absolute time or None.
+
+    def _dispatch(self, stop: list | None, deadline: float | None) -> bool:
+        while True:
+            if self._step_hooks or self._event_sinks or Engine._global_event_sinks:
+                result = self._drain_instrumented(stop, deadline)
+            elif self._heap is not None:
+                result = self._drain_bare_heap(stop, deadline)
+            else:
+                result = self._drain_bare_generic(stop, deadline)
+            if result is not _RESELECT:
+                return _t.cast(bool, result)
+
+    def _drain_bare_heap(self, stop: list | None, deadline: float | None) -> _t.Any:
+        """The hot loop: heap inlined, no hooks/sinks, timeout recycling."""
+        heap = self._heap
+        assert heap is not None
+        pool = self._timeout_pool
+        epoch = Engine._instr_epoch
+        pop = heapq.heappop
+        while heap:
+            if deadline is not None and heap[0][0] > deadline:
+                return False
+            if Engine._instr_epoch != epoch:
+                return _RESELECT
+            when, _seq, event = pop(heap)
+            self._now = when
+            self.events_processed += 1
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event.value
+            # recycle: refcount 2 == our local + getrefcount's argument,
+            # i.e. nobody else can ever see this object again
+            if (
+                type(event) is Timeout
+                and len(pool) < _TIMEOUT_POOL_MAX
+                and getrefcount(event) == 2
+            ):
+                pool.append(event)
+            if stop is not None and stop:
+                return False
+        return True
+
+    def _drain_bare_generic(self, stop: list | None, deadline: float | None) -> _t.Any:
+        """Bare loop over a non-heap scheduler (e.g. the calendar queue)."""
+        sched = self._scheduler
+        pool = self._timeout_pool
+        epoch = Engine._instr_epoch
+        while len(sched):
+            if deadline is not None and sched.peek_when() > deadline:
+                return False
+            if Engine._instr_epoch != epoch:
+                return _RESELECT
+            when, _seq, event = sched.pop()
+            self._now = when
+            self.events_processed += 1
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event.value
+            if (
+                type(event) is Timeout
+                and len(pool) < _TIMEOUT_POOL_MAX
+                and getrefcount(event) == 2
+            ):
+                pool.append(event)
+            if stop is not None and stop:
+                return False
+        return True
+
+    def _drain_instrumented(self, stop: list | None, deadline: float | None) -> _t.Any:
+        """Hooks/sinks hoisted: the list *objects* are captured (not
+        copies), so mid-run appends/removals stay visible; the epoch
+        check drops back to reselection when instrumentation empties."""
+        sched = self._scheduler
+        heap = self._heap
+        hooks = self._step_hooks
+        sinks = self._event_sinks
+        global_sinks = Engine._global_event_sinks
+        epoch = Engine._instr_epoch
+        while len(sched):
+            if deadline is not None:
+                next_when = heap[0][0] if heap is not None else sched.peek_when()
+                if next_when > deadline:
+                    return False
+            if Engine._instr_epoch != epoch:
+                return _RESELECT
+            when, seq, event = sched.pop()
+            self._now = when
+            self.events_processed += 1
+            for hook in hooks:
+                hook(self)
+            if sinks or global_sinks:
+                for sink in sinks:
+                    sink(self, when, seq, event)
+                for sink in global_sinks:
+                    sink(self, when, seq, event)
+            callbacks = event.callbacks
+            event.callbacks = None
+            assert callbacks is not None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event.value
+            if stop is not None and stop:
+                return False
+        return True
 
     def run(self, until: float | Event | None = None) -> _t.Any:
         """Run until the heap is empty, a deadline, or an event.
 
         * ``until=None`` — run until no events remain.
         * ``until=<float>`` — run until the clock reaches that time.
+          Every event with ``when <= until`` is processed (in
+          ``(when, seq)`` order), including events scheduled exactly at
+          the deadline by other deadline-time events.
         * ``until=<Event>`` — run until that event is processed and
           return its value (raising if it failed).
         """
         monitor = Engine._monitor
         if until is None:
-            while self._heap:
-                self.step()
+            self._dispatch(None, None)
             if monitor is not None:
                 monitor.on_drain(self)
                 monitor.on_run_exit(self)
@@ -177,14 +376,13 @@ class Engine:
             done: list[bool] = []
             assert target.callbacks is not None
             target.callbacks.append(lambda _ev: done.append(True))
-            while not done:
-                if not self._heap:
-                    if monitor is not None:
-                        monitor.on_drain(self)
-                    raise DeadlockError(
-                        f"event heap ran dry before {target!r} was triggered"
-                    )
-                self.step()
+            dry = self._dispatch(done, None)
+            if dry and not done:
+                if monitor is not None:
+                    monitor.on_drain(self)
+                raise DeadlockError(
+                    f"event heap ran dry before {target!r} was triggered"
+                )
             if monitor is not None:
                 monitor.on_run_exit(self)
             if not target.ok:
@@ -195,8 +393,7 @@ class Engine:
         deadline = float(until)
         if deadline < self._now:
             raise SimulationError(f"cannot run until {deadline} < now {self._now}")
-        while self._heap and self._heap[0][0] <= deadline:
-            self.step()
+        self._dispatch(None, deadline)
         self._now = deadline
         if monitor is not None:
             monitor.on_run_exit(self)

@@ -29,7 +29,7 @@ class Event:
     re-raises inside every process waiting on it.
     """
 
-    __slots__ = ("engine", "callbacks", "_value", "_ok", "_defused", "name")
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_defused", "_name")
 
     def __init__(self, engine: "Engine", name: str = "") -> None:
         self.engine = engine
@@ -37,7 +37,25 @@ class Event:
         self._value: _t.Any = PENDING
         self._ok = True
         self._defused = False
-        self.name = name
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        """The event's display name.
+
+        Internally the name may be held as a ``(prefix, suffix)`` tuple
+        (see :func:`lazy_event`); the ``f"{prefix}:{suffix}"`` string is
+        rendered — and cached — only when somebody actually reads it, so
+        uninstrumented runs never pay for name formatting.
+        """
+        n = self._name
+        if type(n) is tuple:
+            n = self._name = f"{n[0]}:{n[1]}"
+        return n
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
 
     # -- state ---------------------------------------------------------------
 
@@ -98,6 +116,21 @@ class Event:
         return f"<{type(self).__name__}{label} {state}>"
 
 
+def lazy_event(engine: "Engine", prefix: str, suffix: _t.Any) -> Event:
+    """A pending :class:`Event` whose ``"{prefix}:{suffix}"`` name is
+    rendered lazily — the kernel's internal control events (process
+    init/relay/interrupt, fluid completions) go through here so the
+    per-event f-string only costs when a trace sink reads it."""
+    ev = Event.__new__(Event)
+    ev.engine = engine
+    ev.callbacks = []
+    ev._value = PENDING
+    ev._ok = True
+    ev._defused = False
+    ev._name = (prefix, suffix)
+    return ev
+
+
 class Timeout(Event):
     """An event that fires after a fixed delay."""
 
@@ -106,11 +139,19 @@ class Timeout(Event):
     def __init__(self, engine: "Engine", delay: float, value: _t.Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
-        super().__init__(engine, name=f"timeout({delay})")
-        self.delay = delay
+        # no super().__init__: the slots are set directly (this runs once
+        # per non-recycled timeout, the kernel's most-allocated object)
+        self.engine = engine
+        self.callbacks = []
         self._value = value
         self._ok = True
+        self._defused = False
+        self.delay = delay
         engine._schedule(self, delay=delay)
+
+    @property
+    def name(self) -> str:
+        return f"timeout({self.delay})"
 
 
 class _Condition(Event):

@@ -13,7 +13,7 @@ from __future__ import annotations
 import typing as _t
 
 from repro.errors import SimulationError
-from repro.sim.events import Event
+from repro.sim.events import Event, Timeout, lazy_event
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Engine
@@ -61,10 +61,9 @@ class Process(Event):
         if obs is not None:
             obs.on_create(self)
         # Kick off the process via an immediately-scheduled init event.
-        init = Event(engine, name=f"init:{self.name}")
+        init = lazy_event(engine, "init", self._name)
         init.callbacks.append(self._resume)
         init._value = None
-        init._ok = True
         engine._schedule(init, delay=0.0)
 
     @property
@@ -85,7 +84,7 @@ class Process(Event):
             except ValueError:
                 pass
         self._waiting_on = None
-        punch = Event(self.engine, name=f"interrupt:{self.name}")
+        punch = lazy_event(self.engine, "interrupt", self._name)
         punch._value = Interrupted(cause)
         punch._ok = False
         punch._defused = True
@@ -125,6 +124,18 @@ class Process(Event):
                 obs.on_finish(self)
             return
 
+        if type(target) is Timeout and target.callbacks is not None:
+            # Fast path for the overwhelmingly common suspension: the body
+            # yielded a pending Timeout.  Skips the isinstance check and
+            # the `processed` property below; behavior is identical.
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+            if monitor is not None:
+                monitor.on_suspend(self, target)
+            if obs is not None:
+                obs.on_suspend(self, target)
+            return
+
         if not isinstance(target, Event):
             exc = SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must yield Events"
@@ -145,7 +156,7 @@ class Process(Event):
 
         if target.processed:
             # The event already fired: resume on the next tick with its value.
-            relay = Event(self.engine, name=f"relay:{self.name}")
+            relay = lazy_event(self.engine, "relay", self._name)
             relay._value = target._value
             relay._ok = target._ok
             if not target._ok:

@@ -1,0 +1,248 @@
+"""Pluggable event schedulers for the DES engine.
+
+The engine's future-event set is a priority queue of
+``(when, seq, event)`` entries ordered by ``(when, seq)`` — time first,
+then the global schedule sequence number, so ties in time dispatch in
+schedule order and two runs of the same model stay byte-identical
+regardless of which scheduler backs the queue.
+
+Two implementations ship:
+
+* :class:`HeapScheduler` — the classic binary heap (``heapq``), O(log n)
+  per operation with a very small constant (the heap lives in a plain
+  list the engine's bare dispatch loop can drive directly).
+* :class:`CalendarQueueScheduler` — a calendar queue (R. Brown, CACM
+  1988): events hash into time buckets of a fixed width, giving O(1)
+  amortized enqueue/dequeue for the timeout-dominated workloads the
+  cluster driver generates, where most events land a short, similar
+  distance in the future.  Bucket count and width self-tune as the
+  queue grows and shrinks.
+
+Both orderings are *identical by construction*: the calendar queue keys
+every entry by its integer cell ``floor(when / width)`` computed with
+the same float arithmetic at enqueue and dequeue, cells dispatch in
+ascending order, and entries inside a cell pop in ``(when, seq)`` heap
+order.  ``tests/test_sim_scheduler.py`` drives both through randomized
+schedule/succeed/fail/cancel sequences and asserts equal dispatch
+streams.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+from heapq import heapify, heappop, heappush
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.events import Event
+
+#: one scheduled entry: (when, seq, event) for the heap, with the
+#: calendar queue carrying its integer cell as a fourth field (tuple
+#: comparison never reaches it — seq is unique)
+Entry = _t.Tuple[float, int, "Event"]
+
+
+class Scheduler(_t.Protocol):
+    """What the engine needs from a future-event set."""
+
+    def push(self, when: float, seq: int, event: "Event") -> None:
+        """Insert an entry (``when`` is absolute simulation time)."""
+
+    def pop(self) -> Entry:
+        """Remove and return the smallest ``(when, seq)`` entry."""
+
+    def peek_when(self) -> float:
+        """Time of the next entry, or ``float('inf')`` when empty."""
+
+    def __len__(self) -> int: ...
+
+
+class HeapScheduler:
+    """The binary-heap scheduler (the seed engine's behaviour).
+
+    The backing list is exposed as ``_heap`` on purpose: the engine's
+    specialized dispatch loops drive it with ``heapq`` directly,
+    skipping a Python-level method call per event.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: list[Entry] = []
+
+    def push(self, when: float, seq: int, event: "Event") -> None:
+        heappush(self._heap, (when, seq, event))
+
+    def pop(self) -> Entry:
+        return heappop(self._heap)
+
+    def peek_when(self) -> float:
+        heap = self._heap
+        return heap[0][0] if heap else math.inf
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HeapScheduler {len(self._heap)} pending>"
+
+
+class CalendarQueueScheduler:
+    """A self-tuning calendar queue with deterministic total order.
+
+    Entries are stored as ``(when, seq, cell, event)`` in per-bucket
+    heaps, where ``cell = floor(when / width)`` is the entry's absolute
+    calendar cell.  Dequeue scans cells in ascending order starting at
+    the cell of the last dispatched event; a bucket's head belongs to
+    the current year exactly when its stored cell matches the cell
+    under scan, so float-rounding at bucket boundaries can never
+    reorder or strand an entry — push and pop agree on the cell by
+    construction.
+
+    When a full year of buckets turns up empty (a long idle gap), the
+    scan jumps straight to the earliest populated cell instead of
+    spinning. Bucket count doubles/halves as the population crosses
+    2x/0.5x the bucket count, re-deriving the width from the average
+    inter-event gap of the resident entries, so both dense timeout
+    storms and sparse queues stay O(1) amortized.
+    """
+
+    __slots__ = ("_buckets", "_mask", "_width", "_size", "_cell", "_fixed_width")
+
+    #: bucket-count bounds (powers of two for cheap masking)
+    _MIN_BUCKETS = 32
+    _MAX_BUCKETS = 65536
+
+    def __init__(self, bucket_width: float | None = None, bucket_count: int = 32) -> None:
+        n = max(self._MIN_BUCKETS, 1 << (bucket_count - 1).bit_length())
+        self._buckets: list[list[tuple[float, int, int, "Event"]]] = [[] for _ in range(n)]
+        self._mask = n - 1
+        self._width = float(bucket_width) if bucket_width else 1.0
+        self._fixed_width = bucket_width is not None
+        self._size = 0
+        self._cell = 0
+
+    # -- core operations ----------------------------------------------------
+
+    def push(self, when: float, seq: int, event: "Event") -> None:
+        cell = int(when / self._width)
+        heappush(self._buckets[cell & self._mask], (when, seq, cell, event))
+        self._size += 1
+        if cell < self._cell:
+            # schedule-into-the-past never happens (delays are >= 0) but
+            # the scan pointer must not strand an entry if it ever did
+            self._cell = cell
+        if self._size > 2 * (self._mask + 1) and self._mask + 1 < self._MAX_BUCKETS:
+            self._resize((self._mask + 1) * 2)
+
+    def pop(self) -> Entry:
+        if not self._size:
+            raise IndexError("pop from an empty calendar queue")
+        entry = self._find(remove=True)
+        assert entry is not None
+        when, seq, _cell, event = entry
+        self._size -= 1
+        n = self._mask + 1
+        if self._size < n // 4 and n > self._MIN_BUCKETS:
+            self._resize(n // 2)
+        return (when, seq, event)
+
+    def peek_when(self) -> float:
+        if not self._size:
+            return math.inf
+        entry = self._find(remove=False)
+        assert entry is not None
+        return entry[0]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CalendarQueueScheduler {self._size} pending, "
+            f"{self._mask + 1} buckets x {self._width:g}ns>"
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _find(self, remove: bool) -> tuple[float, int, int, "Event"] | None:
+        """Locate (and optionally remove) the minimum entry."""
+        buckets = self._buckets
+        mask = self._mask
+        cell = self._cell
+        for offset in range(mask + 1):
+            bucket = buckets[(cell + offset) & mask]
+            if bucket and bucket[0][2] <= cell + offset:
+                self._cell = cell + offset
+                return heappop(bucket) if remove else bucket[0]
+        # a whole year of buckets is empty for the current date: jump the
+        # scan pointer to the earliest populated cell (long idle gap)
+        self._cell = min(bucket[0][2] for bucket in buckets if bucket)
+        cell = self._cell
+        bucket = buckets[cell & mask]
+        return heappop(bucket) if remove else bucket[0]
+
+    def _resize(self, new_count: int) -> None:
+        entries = [entry for bucket in self._buckets for entry in bucket]
+        if not self._fixed_width:
+            self._width = self._tune_width(entries)
+        width = self._width
+        self._buckets = [[] for _ in range(new_count)]
+        self._mask = new_count - 1
+        min_cell: int | None = None
+        for when, seq, _old_cell, event in entries:
+            cell = int(when / width)
+            self._buckets[cell & self._mask].append((when, seq, cell, event))
+            if min_cell is None or cell < min_cell:
+                min_cell = cell
+        for bucket in self._buckets:
+            if len(bucket) > 1:
+                heapify(bucket)
+        if min_cell is not None:
+            self._cell = min_cell
+
+    @staticmethod
+    def _tune_width(entries: list[tuple[float, int, int, "Event"]]) -> float:
+        """Bucket width from the resident entries' time spread.
+
+        Aim for ~one entry per bucket-year cell: width = 2x the average
+        gap between adjacent distinct timestamps (Brown's rule of
+        thumb), computed over a bounded sample so resizing stays O(n).
+        """
+        if len(entries) < 2:
+            return 1.0
+        sample = sorted(entry[0] for entry in entries[:512])
+        span = sample[-1] - sample[0]
+        if span <= 0.0 or not math.isfinite(span):
+            return 1.0
+        width = 2.0 * span / len(sample)
+        # degenerate widths (sub-ulp buckets, astronomic cells) help nobody
+        return min(max(width, 1e-6), 1e15)
+
+
+#: name -> zero-argument factory, for ``Engine(scheduler="calendar")``
+SCHEDULERS: dict[str, _t.Callable[[], Scheduler]] = {
+    "heap": HeapScheduler,
+    "calendar": CalendarQueueScheduler,
+}
+
+
+def make_scheduler(spec: "str | Scheduler") -> Scheduler:
+    """Resolve an ``Engine(scheduler=...)`` argument.
+
+    Accepts a registry name (``"heap"``, ``"calendar"``) or any object
+    already satisfying the :class:`Scheduler` protocol.
+    """
+    if isinstance(spec, str):
+        try:
+            return SCHEDULERS[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown scheduler {spec!r}; known: {', '.join(sorted(SCHEDULERS))}"
+            ) from None
+    for method in ("push", "pop", "peek_when", "__len__"):
+        if not hasattr(spec, method):
+            raise TypeError(
+                f"scheduler {spec!r} does not implement Scheduler.{method}"
+            )
+    return spec

@@ -64,10 +64,22 @@ class Deployment:
         return self.engine.run(until)
 
 
-def build(spec: DeploymentSpec, seed: int = 0) -> Deployment:
-    """Wire the spec into hardware on a fresh engine."""
-    engine = Engine(seed=seed)
-    fluid = FluidModel(engine)
+def build(
+    spec: DeploymentSpec,
+    seed: int = 0,
+    scheduler: _t.Any = "heap",
+    hybrid_fluid: bool = False,
+) -> Deployment:
+    """Wire the spec into hardware on a fresh engine.
+
+    *scheduler* selects the engine's event-queue backend ("heap" or
+    "calendar"; see :mod:`repro.sim.scheduler`).  *hybrid_fluid* turns on
+    the transition-driven fluid solver and callback-chained transport
+    operations (``docs/performance.md``): identical timing, far fewer
+    discrete events, different traces — hence off by default.
+    """
+    engine = Engine(seed=seed, scheduler=scheduler)
+    fluid = FluidModel(engine, transition_driven=hybrid_fluid)
     tracer = Tracer()
     switch = FabricSwitch(engine, fluid, port_count=spec.switch_ports)
 
@@ -90,7 +102,7 @@ def build(spec: DeploymentSpec, seed: int = 0) -> Deployment:
         pool = PoolDevice(engine, fluid, spec.pool_dram_bytes, spec.pool_link_spec)
         switch.attach(pool.name, pool.link, pool.dram)
 
-    transport = MemoryTransport(engine, fluid, switch)
+    transport = MemoryTransport(engine, fluid, switch, hybrid_transfers=hybrid_fluid)
     return Deployment(
         spec=spec,
         engine=engine,
@@ -104,11 +116,18 @@ def build(spec: DeploymentSpec, seed: int = 0) -> Deployment:
 
 
 def build_logical(link: str = "link0", seed: int = 0, **overrides: _t.Any) -> Deployment:
-    """The paper's Logical configuration (or a variation of it)."""
+    """The paper's Logical configuration (or a variation of it).
+
+    ``scheduler=`` and ``hybrid_fluid=`` overrides are builder arguments
+    (see :func:`build`), not spec fields; everything else replaces fields
+    on the spec.
+    """
+    scheduler = overrides.pop("scheduler", "heap")
+    hybrid_fluid = overrides.pop("hybrid_fluid", False)
     spec = paper_logical(link)
     if overrides:
         spec = dataclasses.replace(spec, **overrides)
-    return build(spec, seed=seed)
+    return build(spec, seed=seed, scheduler=scheduler, hybrid_fluid=hybrid_fluid)
 
 
 def build_physical(
@@ -118,7 +137,9 @@ def build_physical(
     **overrides: _t.Any,
 ) -> Deployment:
     """The paper's Physical cache / Physical no-cache configurations."""
+    scheduler = overrides.pop("scheduler", "heap")
+    hybrid_fluid = overrides.pop("hybrid_fluid", False)
     spec = paper_physical_cache(link) if cache else paper_physical_nocache(link)
     if overrides:
         spec = dataclasses.replace(spec, **overrides)
-    return build(spec, seed=seed)
+    return build(spec, seed=seed, scheduler=scheduler, hybrid_fluid=hybrid_fluid)

@@ -230,7 +230,7 @@ def test_flow_mutants_all_caught(clean_tree):
     assert code == EXIT_CLEAN
     out = stream.getvalue()
     assert "MISSED" not in out
-    assert "/15 seeded defect(s) caught" in out
+    assert "/16 seeded defect(s) caught" in out
 
 
 def test_flow_json_payload(flow_dirty_tree):

@@ -248,3 +248,44 @@ def test_incast_requires_matching_targets():
     engine, fluid, switch, servers = make_rack(servers=2)
     with pytest.raises(ValueError):
         measure_incast(engine, fluid, switch, servers, ["server0"], gib(1))
+
+
+# --- hybrid (callback-chained) transport --------------------------------------
+#
+# ``build_logical(..., hybrid_fluid=True)`` swaps the generator-based
+# operation processes for callback chains over the transition-driven
+# fluid solver.  Timing and data movement must be identical to the
+# default mode; only the event count differs.
+
+
+def _timed_ops(hybrid: bool) -> tuple[float, float, float, bytes, bytes]:
+    from repro.topology.builder import build_logical
+
+    dep = build_logical("link0", hybrid_fluid=hybrid)
+    engine, transport = dep.engine, dep.transport
+    payload = b"hybrid?!" * 1024
+    engine.run(transport.write("server0", "server2", 4096, payload))
+    t_write = engine.now
+    data = engine.run(transport.read("server1", "server2", 4096, len(payload)))
+    t_read = engine.now
+    engine.run(transport.copy("server2", 4096, "server3", mib(1), len(payload)))
+    copied = dep.switch.device_of("server3").read_bytes(mib(1), len(payload))
+    return t_write, t_read, engine.now, data, copied
+
+
+def test_hybrid_transport_matches_process_mode():
+    default, hybrid = _timed_ops(False), _timed_ops(True)
+    assert hybrid[:3] == pytest.approx(default[:3], rel=1e-9)
+    assert hybrid[3:] == default[3:]  # real bytes moved identically
+
+
+def test_hybrid_transport_uses_fewer_events():
+    from repro.topology.builder import build_logical
+
+    counts = []
+    for hybrid in (False, True):
+        dep = build_logical("link0", hybrid_fluid=hybrid)
+        engine = dep.engine
+        engine.run(dep.transport.write("server0", "server1", 0, b"z" * 4096))
+        counts.append(engine.events_processed)
+    assert counts[1] < counts[0]

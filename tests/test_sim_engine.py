@@ -260,3 +260,47 @@ def test_peek_reports_next_event_time(engine):
     assert engine.peek() == float("inf")
     engine.timeout(42.0)
     assert engine.peek() == 42.0
+
+
+def test_events_processed_counts_every_dispatch(engine):
+    for delay in (1.0, 2.0, 3.0):
+        engine.timeout(delay)
+    engine.run()
+    assert engine.events_processed == 3
+
+
+def test_events_processed_counts_event_whose_callback_raises(engine):
+    """The counter moves at pop, before callbacks run: an event whose
+    callback blows up is still a processed event."""
+    engine.timeout(1.0)
+    bad = engine.timeout(2.0)
+    bad.callbacks.append(lambda _e: (_ for _ in ()).throw(RuntimeError("boom")))
+    with pytest.raises(RuntimeError, match="boom"):
+        engine.run()
+    assert engine.events_processed == 2
+
+
+def test_run_until_deadline_tie_semantics(engine):
+    """``run(until=t)`` processes every event with ``when <= t`` — in
+    ``(when, seq)`` order, including events that deadline-time events
+    schedule at exactly the deadline — then parks the clock at ``t``."""
+    fired: list[str] = []
+    engine.timeout(50.0).callbacks.append(lambda _e: fired.append("early"))
+    at_deadline = engine.timeout(100.0)
+    at_deadline.callbacks.append(lambda _e: fired.append("edge"))
+
+    def spawn_more(_e):
+        # zero-delay from t=100: lands exactly on the deadline, must run
+        engine.timeout(0.0).callbacks.append(lambda _e: fired.append("edge-child"))
+        engine.timeout(0.5).callbacks.append(lambda _e: fired.append("late"))
+
+    at_deadline.callbacks.append(spawn_more)
+    engine.timeout(100.0).callbacks.append(lambda _e: fired.append("edge-tie"))
+
+    engine.run(until=100.0)
+    assert fired == ["early", "edge", "edge-tie", "edge-child"]
+    assert engine.now == 100.0
+    # the event past the deadline survives for the next run
+    engine.run()
+    assert fired[-1] == "late"
+    assert engine.now == pytest.approx(100.5)

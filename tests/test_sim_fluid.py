@@ -214,3 +214,138 @@ def test_single_capped_flow_matches_closed_form(size, cap, rate):
     link = Capacity("link", rate)
     engine.run(fluid.transfer([link], size, rate_cap=cap))
     assert engine.now == pytest.approx(size / min(cap, rate), rel=1e-6)
+
+
+# -- transition-driven (hybrid) mode -------------------------------------------
+#
+# The same solver arithmetic without the per-event step hook: progress is
+# advanced only at rate transitions.  Timing must agree with the default
+# mode to float tolerance; these tests run identical scenarios through
+# both and compare.
+
+
+def make_hybrid() -> tuple[Engine, FluidModel]:
+    engine = Engine()
+    return engine, FluidModel(engine, transition_driven=True)
+
+
+def test_hybrid_single_flow_matches_default():
+    engine, fluid = make_hybrid()
+    link = Capacity("link", 10.0)
+    done = fluid.transfer([link], 1000.0)
+    engine.run(done)
+    assert engine.now == pytest.approx(100.0)
+
+
+def test_hybrid_staggered_flows_match_default_mode():
+    """Joins, drains, and a rate-capped flow: completion times in
+    transition-driven mode equal the per-event hook mode's."""
+
+    def scenario(transition: bool) -> list[float]:
+        engine = Engine()
+        fluid = FluidModel(engine, transition_driven=transition)
+        link = Capacity("link", 10.0)
+        wide = Capacity("wide", 40.0)
+        finish_times: list[float] = []
+
+        def launcher():
+            flows = [
+                fluid.transfer([link, wide], 400.0),
+                fluid.transfer([link], 900.0, rate_cap=3.0),
+            ]
+            yield engine.timeout(25.0)
+            flows.append(fluid.transfer([wide], 2000.0))
+            for flow in flows:
+                flow.callbacks.append(
+                    lambda _e: finish_times.append(engine.now)
+                )
+            yield engine.all_of(flows)
+
+        engine.run(engine.process(launcher()))
+        return finish_times
+
+    default, hybrid = scenario(False), scenario(True)
+    assert hybrid == pytest.approx(default, rel=1e-9)
+
+
+def test_hybrid_grouped_solver_virtualizes_large_flow_sets():
+    """>= _GROUPED_RECOMPUTE_MIN same-path flows flip the model into
+    virtual-service accounting; completions still match the closed form
+    (n identical flows through one link finish together at n*size/rate)."""
+    engine, fluid = make_hybrid()
+    link = Capacity("link", 8.0)
+    flows = [fluid.transfer([link], 160.0) for _ in range(12)]
+    assert fluid._virtualized  # grouped path engaged
+    engine.run(engine.all_of(flows))
+    assert engine.now == pytest.approx(12 * 160.0 / 8.0)
+    assert fluid.active_transfers == 0
+    assert not fluid._virtualized
+
+
+def test_hybrid_capped_join_materializes_virtual_state():
+    """A rate-capped flow joining a virtualized group forces the solver
+    back to per-flow accounting without losing progress."""
+    engine, fluid = make_hybrid()
+    link = Capacity("link", 10.0)
+    flows = [fluid.transfer([link], 500.0) for _ in range(10)]
+    assert fluid._virtualized
+
+    def join_capped():
+        yield engine.timeout(100.0)  # each flow has moved 100 bytes
+        capped = fluid.transfer([link], 330.0, rate_cap=0.5)
+        assert not fluid._virtualized
+        yield capped
+
+    joiner = engine.process(join_capped())
+    engine.run(engine.all_of(flows))
+    # materialized progress intact: the ten had 400 left at t=100 and
+    # share 10 - 0.5 from then on -> 0.95 each
+    assert engine.now == pytest.approx(100.0 + 400.0 / 0.95)
+    engine.run(joiner)
+    # the cap binds the whole time: 330 bytes at 0.5 from t=100
+    assert engine.now == pytest.approx(100.0 + 330.0 / 0.5)
+
+
+def test_hybrid_settle_exposes_midflight_progress():
+    engine, fluid = make_hybrid()
+    link = Capacity("link", 10.0)
+    done = fluid.transfer([link], 1000.0)
+    engine.run(until=40.0)
+    fluid.settle()
+    assert link.stats.counter("bytes").value == pytest.approx(400.0)
+    assert link.utilization == pytest.approx(1.0)
+    engine.run(done)
+    assert engine.now == pytest.approx(100.0)
+
+
+def test_hybrid_aggregate_bytes_match_per_flow_accounting():
+    engine, fluid = make_hybrid()
+    link = Capacity("link", 10.0)
+    flows = [fluid.transfer([link], 123.0), fluid.transfer([link], 877.0)]
+    engine.run(engine.all_of(flows))
+    assert link.stats.counter("bytes").value == pytest.approx(1000.0)
+
+
+def test_hybrid_tiny_transfer_completes():
+    engine, fluid = make_hybrid()
+    link = Capacity("link", 10.0)
+    done = fluid.transfer([link], 1e-6)  # below COMPLETION_EPSILON
+    engine.run(done)
+    assert done.triggered
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.floats(1.0, 1e6), min_size=1, max_size=12),
+    rate=st.floats(0.5, 100.0),
+)
+def test_hybrid_aggregate_throughput_equals_capacity(sizes, rate):
+    """The hybrid solver conserves work: total bytes / makespan equals
+    the link rate, whether or not the flow count crosses the grouped
+    (virtual-service) threshold."""
+    engine = Engine()
+    fluid = FluidModel(engine, transition_driven=True)
+    link = Capacity("link", rate)
+    flows = [fluid.transfer([link], size) for size in sizes]
+    engine.run(engine.all_of(flows))
+    assert engine.now == pytest.approx(sum(sizes) / rate, rel=1e-6)
