@@ -95,10 +95,10 @@ def format_ratio(numerator: float, denominator: float) -> str:
 
 def format_quantiles(
     histogram: _t.Any,
-    quantiles: _t.Sequence[float] = (0.5, 0.9, 0.99),
+    quantiles: _t.Sequence[float] = (0.5, 0.9, 0.99, 0.999),
     unit: str = "ns",
 ) -> str:
-    """'p50=12.0ns p90=40.0ns p99=88.5ns' from one sort pass.
+    """'p50=12.0ns p90=40.0ns p99=88.5ns p99.9=99.1ns' from one sort pass.
 
     Takes any object with ``percentile_many`` (i.e.
     :class:`~repro.sim.stats.Histogram`); empty histograms render as

@@ -94,6 +94,33 @@ def _scenario_obs() -> _t.Any:
     return first
 
 
+def _scenario_scale() -> _t.Any:
+    """A reduced open-loop serving run (elastic vs static), twice.
+
+    The engine-stream diff covers the 10k-tenant machinery end to end
+    (open-loop traffic, slotted driver, autoscaler reflexes); rendering
+    the report twice additionally pins every derived number — reject
+    rates, Jain index, migration bytes — to the seed."""
+    from repro.experiments import scale
+
+    def one_run() -> str:
+        return scale.run(
+            tenants=300,
+            racks=2,
+            servers_per_rack=2,
+            duration_us=300.0,
+            base_rate_ops_us=0.8,
+        ).render()
+
+    first = one_run()
+    second = one_run()
+    if first != second:
+        raise DeterminismError(
+            "scale: rendered reports differ between two same-seed runs"
+        )
+    return first
+
+
 def _scenario_alloc() -> _t.Any:
     """A reduced allocator-gauntlet run, compared at two levels.
 
@@ -120,6 +147,7 @@ SCENARIOS: dict[str, _t.Callable[[], _t.Any]] = {
     "cluster": _scenario_cluster,
     "obs": _scenario_obs,
     "alloc": _scenario_alloc,
+    "scale": _scenario_scale,
 }
 
 

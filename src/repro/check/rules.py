@@ -543,7 +543,7 @@ class SharedWriteOutsideSyncRule(Rule):
 
     id = "LMP007"
     title = "shared write outside a sync scope"
-    subsystems = frozenset({"cluster", "workloads"})
+    subsystems = frozenset({"cluster", "workloads", "scale"})
 
     def check(self, tree: ast.AST, ctx: LintContext) -> list[Violation]:
         out: list[Violation] = []

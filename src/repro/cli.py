@@ -72,6 +72,10 @@ EXPERIMENTS: dict[str, tuple[str, _t.Callable[[], _t.Any]]] = {
         "C1: multi-tenant rack control plane (admission, placement, leases, fairness)",
         _runner("cluster"),
     ),
+    "scale": (
+        "S1: 10k-tenant open-loop serving, elastic re-flex vs static split",
+        _runner("scale"),
+    ),
 }
 
 
@@ -87,6 +91,7 @@ def run_experiments(
     stream: _t.TextIO = sys.stdout,
     policies: _t.Sequence[str] | None = None,
     obs_dir: pathlib.Path | None = None,
+    export_dir: pathlib.Path | None = None,
 ) -> int:
     """Run experiments by name; returns a process exit code.
 
@@ -117,11 +122,16 @@ def run_experiments(
                 file=sys.stderr,
             )
             return 2
+    if export_dir is not None and "scale" not in names:
+        print("--export only applies to the 'scale' experiment", file=sys.stderr)
+        return 2
 
     for name in names:
         description, runner = EXPERIMENTS[name]
         if name == "cluster" and policies is not None:
             runner = _runner("cluster", policies=tuple(policies))
+        if name == "scale" and export_dir is not None:
+            runner = _runner("scale", export_dir=export_dir)
         print(f"=== {name}: {description} ===", file=stream)
         started = time.perf_counter()
         if obs_dir is not None:
@@ -196,6 +206,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated placement schedulers for the 'cluster' "
         "experiment (e.g. first-fit,fragmentation-aware)",
+    )
+    run_cmd.add_argument(
+        "--export",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="for the 'scale' experiment: dump the elastic run's metrics "
+        "timeline (Prometheus text, CSV, JSON) into DIR",
     )
     run_cmd.add_argument(
         "--obs",
@@ -343,7 +361,11 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         return summarize_obs(args.paths)
     policies = args.policies.split(",") if args.policies else None
     return run_experiments(
-        args.names, out_dir=args.out, policies=policies, obs_dir=args.obs
+        args.names,
+        out_dir=args.out,
+        policies=policies,
+        obs_dir=args.obs,
+        export_dir=args.export,
     )
 
 

@@ -115,16 +115,22 @@ class DriverReport:
         merged = self.merged_latency()
         return merged.quantile(0.99) if len(merged) else 0.0
 
+    @property
+    def p999_ns(self) -> float:
+        merged = self.merged_latency()
+        return merged.quantile(0.999) if len(merged) else 0.0
+
     def latency_summary(self) -> dict[str, float]:
         """Rack-level latency quantiles from one merged sort pass."""
         merged = self.merged_latency()
         if not len(merged):
             return {}
-        p50, p90, p99 = merged.percentile_many((0.5, 0.9, 0.99))
+        p50, p90, p99, p999 = merged.percentile_many((0.5, 0.9, 0.99, 0.999))
         return {
             "p50": p50,
             "p90": p90,
             "p99": p99,
+            "p99.9": p999,
             "mean": merged.mean(),
             "max": merged.maximum(),
         }

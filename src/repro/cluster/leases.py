@@ -25,6 +25,13 @@ if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.buffer import Buffer
 
 
+def _buffer_key(buffer: _t.Any) -> int:
+    """Index key for a buffer: its unique base address, or object
+    identity for the bare stand-ins unit tests pass in."""
+    base = getattr(buffer, "base", None)
+    return id(buffer) if base is None else int(base.value)
+
+
 @dataclasses.dataclass
 class Lease:
     """One tenant's claim on one pooled buffer."""
@@ -49,6 +56,10 @@ class LeaseTable:
 
     def __init__(self) -> None:
         self._by_id: dict[int, Lease] = {}
+        #: base-address -> lease index: every alloc/free path resolves a
+        #: buffer to its lease, so at 10k-tenant scale this lookup must
+        #: not scan the table (a live buffer's base address is unique)
+        self._by_buffer: dict[int, Lease] = {}
         self._next_id = 1
         self.total_granted = 0
         self.total_released = 0
@@ -75,6 +86,7 @@ class LeaseTable:
         )
         self._next_id += 1
         self._by_id[lease.lease_id] = lease
+        self._by_buffer[_buffer_key(buffer)] = lease
         self.total_granted += 1
         return lease
 
@@ -84,7 +96,13 @@ class LeaseTable:
                 f"lease {lease.lease_id} ({lease.tenant_id}) is not live; "
                 "already released or revoked?"
             )
+        key = _buffer_key(lease.buffer)
+        if self._by_buffer.get(key) is lease:
+            del self._by_buffer[key]
         self.total_released += 1
+
+    def is_live(self, lease_id: int) -> bool:
+        return lease_id in self._by_id
 
     def renew(self, lease: Lease, now: float, ttl: float) -> None:
         if lease.lease_id not in self._by_id:
@@ -98,10 +116,11 @@ class LeaseTable:
             raise LeaseError(f"no live lease {lease_id}") from None
 
     def find_by_buffer(self, buffer: "Buffer") -> Lease | None:
-        """The live lease backing *buffer*, if any (id order breaks ties)."""
-        for lease_id in sorted(self._by_id):
-            if self._by_id[lease_id].buffer is buffer:
-                return self._by_id[lease_id]
+        """The live lease backing *buffer*, if any — O(1) through the
+        base-address index (this runs on every alloc and free)."""
+        lease = self._by_buffer.get(_buffer_key(buffer))
+        if lease is not None and lease.buffer is buffer:
+            return lease
         return None
 
     def of_tenant(self, tenant_id: str) -> list[Lease]:
@@ -113,12 +132,15 @@ class LeaseTable:
         ]
 
     def expired(self, now: float) -> list[Lease]:
-        """Live leases whose TTL has lapsed, in grant order."""
-        return [
-            self._by_id[lease_id]
-            for lease_id in sorted(self._by_id)
-            if self._by_id[lease_id].expired(now)
+        """Live leases whose TTL has lapsed, in grant order.  Only the
+        lapsed subset is sorted, so sweeps stay cheap at scale."""
+        lapsed = [
+            lease_id
+            for lease_id, lease in self._by_id.items()
+            if lease.expired(now)
         ]
+        lapsed.sort()
+        return [self._by_id[lease_id] for lease_id in lapsed]
 
     def live_bytes(self) -> int:
         """Extent-granular footprint of every live lease."""

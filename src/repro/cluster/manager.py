@@ -61,6 +61,25 @@ class ReclaimReport:
     queued_requests_failed: int
 
 
+@dataclasses.dataclass(frozen=True)
+class ReflexReport:
+    """One explicit private/shared re-flex of a server (§4.5).
+
+    Growing is free (the boundary just moves); shrinking under live
+    allocations charges honest migration costs — ``bytes_evacuated``
+    extents left through :class:`~repro.core.migration.PressureEvictor`
+    and paid for their copies in simulated time."""
+
+    server_id: int
+    target_shared_bytes: int
+    shared_before: int
+    shared_after: int
+    bytes_evacuated: int
+    extents_evacuated: int
+    #: local compaction copies that unblocked the shrink (same-server)
+    bytes_relocated: int = 0
+
+
 @dataclasses.dataclass
 class _Waiter:
     """One queued admission request."""
@@ -123,7 +142,8 @@ class _TenantObserver(SessionObserver):
         manager.leases.release(lease)
         self.tenant.leases.pop(lease.lease_id, None)
         self.tenant.refund(lease.footprint_bytes)
-        manager._service_queue()
+        if not manager._defer_service:
+            manager._service_queue()
 
 
 class PoolManager:
@@ -155,6 +175,9 @@ class PoolManager:
         self.stats = StatSet("cluster")
         self._queue: list[_Waiter] = []
         self._arrivals = 0
+        #: batching flag: while True, frees skip the per-free admission
+        #: wake-up; the batch caller runs one queue pass at the end
+        self._defer_service = False
         self.reclaim_reports: list[ReclaimReport] = []
 
     # -- tenant lifecycle ----------------------------------------------------
@@ -295,10 +318,87 @@ class PoolManager:
         tenant = self.tenant(lease.tenant_id)
         self._control_session(tenant).free(lease.buffer)
 
+    def release_many(self, leases: _t.Iterable[Lease]) -> int:
+        """Release a batch of leases with a single admission wake-up.
+
+        The per-free queue pass is what makes bulk expiry O(batch x
+        queue) at 10k-tenant scale; deferring it to one pass at the end
+        keeps batched reclamation linear.  Leases already dead (revoked,
+        expired) are skipped.  Returns the number actually released."""
+        released = 0
+        self._defer_service = True
+        try:
+            for lease in leases:
+                if not self.leases.is_live(lease.lease_id):
+                    continue
+                self.release(lease)
+                released += 1
+        finally:
+            self._defer_service = False
+        self._service_queue()
+        return released
+
     def renew(self, lease: Lease) -> None:
         """Refresh a TTL lease (no-op when leases do not expire)."""
         if self.default_ttl is not None:
             self.leases.renew(lease, self.engine.now, self.default_ttl)
+
+    # -- the re-flex seam (§4.5) ----------------------------------------------
+
+    def reflex(self, server_id: int, target_shared_bytes: int) -> "Process":
+        """Re-flex one server's private/shared split toward
+        *target_shared_bytes* of shared memory; the process returns a
+        :class:`ReflexReport`.
+
+        This is the control-plane seam an autoscaler drives: growing
+        converts private headroom instantly, shrinking evacuates live
+        extents through the runtime's
+        :class:`~repro.core.migration.PressureEvictor` first (honest
+        migration costs, data stays addressable).  Either way the
+        admission queue is serviced afterwards, so capacity freed by a
+        grow reaches queued requests without a racing free."""
+        if server_id not in self.pool.regions:
+            raise ConfigError(f"no server {server_id} in this pool")
+        return self.engine.process(
+            self._reflex_body(server_id, target_shared_bytes),
+            name=f"reflex.s{server_id}",
+        )
+
+    def _reflex_body(
+        self, server_id: int, target_shared_bytes: int
+    ) -> _t.Generator[_t.Any, _t.Any, ReflexReport]:
+        region = self.pool.regions[server_id]
+        before = region.shared_bytes
+        bytes_evacuated = 0
+        extents_evacuated = 0
+        bytes_relocated = 0
+        if target_shared_bytes >= before:
+            region.set_shared_target(target_shared_bytes)
+        else:
+            reclaim = yield self.runtime.reclaim_private(
+                server_id, before - target_shared_bytes
+            )
+            bytes_evacuated = reclaim.bytes_evacuated
+            extents_evacuated = reclaim.extents_evacuated
+            bytes_relocated = reclaim.bytes_relocated
+        after = region.shared_bytes
+        self.stats.counter("reflex.events").add()
+        if after >= before:
+            self.stats.counter("reflex.grown_bytes").add(after - before)
+        else:
+            self.stats.counter("reflex.shrunk_bytes").add(before - after)
+        self.stats.counter("reflex.bytes_evacuated").add(bytes_evacuated)
+        self.stats.counter("reflex.bytes_relocated").add(bytes_relocated)
+        self._service_queue()
+        return ReflexReport(
+            server_id=server_id,
+            target_shared_bytes=target_shared_bytes,
+            shared_before=before,
+            shared_after=after,
+            bytes_evacuated=bytes_evacuated,
+            extents_evacuated=extents_evacuated,
+            bytes_relocated=bytes_relocated,
+        )
 
     def _service_queue(self) -> None:
         """Grant queued requests, highest priority first, while the head
@@ -324,6 +424,22 @@ class PoolManager:
                 waiter.event.fail(exc)
                 continue
             waiter.event.succeed(lease)
+
+    def fail_all_queued(self, reason: str = "admission queue drained") -> int:
+        """Fail every queued request (end-of-run drain for open-loop
+        drivers); each counts as a capacity rejection.  Returns the
+        number of waiters failed."""
+        failed = 0
+        while self._queue:
+            waiter = self._queue.pop(0)
+            tenant = self.tenant(waiter.tenant_id)
+            tenant.rejected_capacity += 1
+            self.stats.counter("rejected.capacity").add()
+            waiter.event.fail(
+                AdmissionError(f"tenant {waiter.tenant_id}: {reason}")
+            )
+            failed += 1
+        return failed
 
     # -- revocation and failure handling --------------------------------------
 

@@ -28,7 +28,7 @@ import typing as _t
 
 from repro.core.pool import LogicalMemoryPool
 from repro.core.profiling import AccessProfiler
-from repro.errors import ConfigError
+from repro.errors import CapacityError, ConfigError, MigrationError
 from repro.units import gib
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -392,6 +392,9 @@ class ReclaimReport:
     reclaimed_bytes: int
     extents_evacuated: int
     bytes_evacuated: int
+    #: bytes moved *within* the server compacting kept extents out of
+    #: the reclaimed range — copies the transport ledger also sees
+    bytes_relocated: int = 0
 
     @property
     def satisfied(self) -> bool:
@@ -483,11 +486,16 @@ class PressureEvictor:
             )
             if dst is None or free_elsewhere[dst] < extent_bytes:
                 break  # the cluster is full; reclaim what free frames allow
-            yield self.pool.migrate_extent(extent_index, dst)
-            moved_extents += 1
-            evacuated += extent_bytes
+            try:
+                moved = yield self.pool.migrate_extent(extent_index, dst)
+            except (MigrationError, CapacityError):
+                continue  # dst crashed or lost its room mid-flight; repick
+            if moved:  # 0 when the extent was freed mid-migration
+                moved_extents += 1
+                evacuated += moved
 
         # compact kept extents out of the reclaimed range (local copies)
+        relocated = 0
         blockers = set(region.frames_blocking_shrink(target))
         if blockers:
             for extent_index in keep:
@@ -496,7 +504,10 @@ class PressureEvictor:
                     continue
                 if region.shared_free_bytes < extent_bytes:
                     break  # nowhere to compact to; reclaim stays partial
-                yield self.pool.relocate_extent_locally(extent_index)
+                try:
+                    relocated += yield self.pool.relocate_extent_locally(extent_index)
+                except CapacityError:
+                    break  # frames vanished between the check and the move
 
         before = region.shared_bytes
         region.set_shared_target(region.shared_bytes - target)
@@ -507,6 +518,7 @@ class PressureEvictor:
             reclaimed_bytes=reclaimed,
             extents_evacuated=moved_extents,
             bytes_evacuated=evacuated,
+            bytes_relocated=relocated,
         )
         self.reports.append(report)
         return report

@@ -193,6 +193,11 @@ class LogicalMemoryPool(MemoryPool):
         #: extent index -> list of frame offsets backing its pages
         self._extent_frames: dict[int, list[int]] = {}
         self._buffer_extents: dict[int, list[int]] = {}
+        #: extents mid-migration/relocation: a free() racing the move
+        #: defers the teardown to the mover instead of yanking pages out
+        #: from under an in-flight copy
+        self._pinned_extents: set[int] = set()
+        self._doomed_extents: set[int] = set()
 
     # -- capacity -----------------------------------------------------------------
 
@@ -273,18 +278,41 @@ class LogicalMemoryPool(MemoryPool):
         extents = self._buffer_extents.pop(buffer.base.value, None)
         if extents is None:
             raise AddressError(f"buffer {buffer!r} is not live in this pool")
-        pages_per_extent = self.geometry.pages_per_extent
         for extent_index in extents:
-            owner = self.translator.global_map.lookup_extent(extent_index).server_id
-            table = self.translator.page_table(owner)
-            first_page = extent_index * pages_per_extent
-            for page_index in range(first_page, first_page + pages_per_extent):
-                table.unmap_page(page_index)
-            self.regions[owner].free_frames(self._extent_frames.pop(extent_index))
-            self.translator.global_map.release(extent_index)
-            self._free_extents.append(extent_index)
+            if extent_index in self._pinned_extents:
+                # a migration/relocation holds this extent; it tears the
+                # extent down (and returns the capacity) when it unpins
+                self._doomed_extents.add(extent_index)
+                continue
+            self._teardown_extent(extent_index)
         del self._buffers[buffer.base.value]
         buffer.freed = True
+
+    def _teardown_extent(self, extent_index: int) -> None:
+        """Unmap one extent's pages and return its frames and index.
+
+        Frame offsets come from the page-table entries, not the cached
+        ``_extent_frames`` list: a half-finished relocation may have
+        committed some pages to new frames already, and the entries are
+        the authority on which frames actually back the data now."""
+        pages_per_extent = self.geometry.pages_per_extent
+        owner = self.translator.global_map.lookup_extent(extent_index).server_id
+        table = self.translator.page_table(owner)
+        first_page = extent_index * pages_per_extent
+        freed: list[int] = []
+        for page_index in range(first_page, first_page + pages_per_extent):
+            freed.append(table.unmap_page(page_index).frame_offset)
+        self.regions[owner].free_frames(freed)
+        self._extent_frames.pop(extent_index, None)
+        self.translator.global_map.release(extent_index)
+        self._free_extents.append(extent_index)
+
+    def _unpin_extent(self, extent_index: int) -> None:
+        """Drop a mover's pin; run the teardown a racing free deferred."""
+        self._pinned_extents.discard(extent_index)
+        if extent_index in self._doomed_extents:
+            self._doomed_extents.discard(extent_index)
+            self._teardown_extent(extent_index)
 
     # -- performance data path ------------------------------------------------------
 
@@ -438,6 +466,11 @@ class LogicalMemoryPool(MemoryPool):
         )
 
     def _migrate_body(self, extent_index: int, dst_server_id: int):
+        if (
+            extent_index not in self._extent_frames
+            or extent_index in self._pinned_extents
+        ):
+            return 0  # freed before we started, or another mover owns it
         entry = self.translator.global_map.lookup_extent(extent_index)
         src_id = entry.server_id
         if src_id == dst_server_id:
@@ -445,78 +478,90 @@ class LogicalMemoryPool(MemoryPool):
         src = self.deployment.server(src_id)
         dst = self.deployment.server(dst_server_id)
         if not dst.alive:
-            raise MemoryFailureError(f"migration target {dst.name} is down", server_id=dst_server_id)
+            raise MemoryFailureError(
+                f"migration target {dst.name} is down", server_id=dst_server_id
+            )
         pages_per_extent = self.geometry.pages_per_extent
         page_bytes = self.geometry.page_bytes
         first_page = extent_index * pages_per_extent
         src_table = self.translator.page_table(src_id)
         self.regions[dst_server_id].ensure_shared_free(self.geometry.extent_bytes)
         dst_frames = self.regions[dst_server_id].allocate_frames(pages_per_extent)
-
-        # Phase 1: bulk copy every page, clearing dirty bits as we go so
-        # writes racing the copy are detected.
-        page_to_dst: dict[int, int] = {}
-        for page_index, dst_frame in zip(
-            range(first_page, first_page + pages_per_extent), dst_frames
-        ):
-            page_to_dst[page_index] = dst_frame
-            src_entry = src_table.entry(page_index)
-            src_entry.dirty = False
-            yield self.transport.copy(
-                src.name, src_entry.frame_offset, dst.name, dst_frame, page_bytes
-            )
-
-        # Phase 2: bounded re-copy of pages dirtied during phase 1.
-        for _round in range(3):
-            dirty = [
-                p
-                for p in range(first_page, first_page + pages_per_extent)
-                if src_table.entry(p).dirty
-            ]
-            if not dirty:
-                break
-            for page_index in dirty:
+        self._pinned_extents.add(extent_index)
+        try:
+            # Phase 1: bulk copy every page, clearing dirty bits as we go so
+            # writes racing the copy are detected.
+            page_to_dst: dict[int, int] = {}
+            for page_index, dst_frame in zip(
+                range(first_page, first_page + pages_per_extent), dst_frames
+            ):
+                page_to_dst[page_index] = dst_frame
                 src_entry = src_table.entry(page_index)
                 src_entry.dirty = False
                 yield self.transport.copy(
-                    src.name,
-                    src_entry.frame_offset,
-                    dst.name,
-                    page_to_dst[page_index],
-                    page_bytes,
+                    src.name, src_entry.frame_offset, dst.name, dst_frame, page_bytes
+                )
+                if extent_index in self._doomed_extents:
+                    # the buffer was freed mid-copy: nothing left to move
+                    self.regions[dst_server_id].free_frames(dst_frames)
+                    return 0
+
+            # Phase 2: bounded re-copy of pages dirtied during phase 1.
+            for _round in range(3):
+                dirty = [
+                    p
+                    for p in range(first_page, first_page + pages_per_extent)
+                    if src_table.entry(p).dirty
+                ]
+                if not dirty:
+                    break
+                for page_index in dirty:
+                    src_entry = src_table.entry(page_index)
+                    src_entry.dirty = False
+                    yield self.transport.copy(
+                        src.name,
+                        src_entry.frame_offset,
+                        dst.name,
+                        page_to_dst[page_index],
+                        page_bytes,
+                    )
+                    if extent_index in self._doomed_extents:
+                        self.regions[dst_server_id].free_frames(dst_frames)
+                        return 0
+
+            # Either endpoint may have died while we were copying.  A dead
+            # destination aborts cleanly (the source stays authoritative);
+            # a dead source means the extent's bytes are gone — committing a
+            # zero-filled destination copy would be silent corruption.
+            if not dst.alive:
+                self.regions[dst_server_id].free_frames(dst_frames)
+                raise MigrationError(
+                    f"migration of extent {extent_index} aborted: target "
+                    f"{dst.name} crashed mid-copy (source copy remains authoritative)"
+                )
+            if not src.alive:
+                self.regions[dst_server_id].free_frames(dst_frames)
+                raise MemoryFailureError(
+                    f"extent {extent_index} lost: source {src.name} crashed "
+                    "mid-migration before the copy committed",
+                    server_id=src_id,
                 )
 
-        # Either endpoint may have died while we were copying.  A dead
-        # destination aborts cleanly (the source stays authoritative);
-        # a dead source means the extent's bytes are gone — committing a
-        # zero-filled destination copy would be silent corruption.
-        if not dst.alive:
-            self.regions[dst_server_id].free_frames(dst_frames)
-            raise MigrationError(
-                f"migration of extent {extent_index} aborted: target "
-                f"{dst.name} crashed mid-copy (source copy remains authoritative)"
-            )
-        if not src.alive:
-            self.regions[dst_server_id].free_frames(dst_frames)
-            raise MemoryFailureError(
-                f"extent {extent_index} lost: source {src.name} crashed "
-                "mid-migration before the copy committed",
-                server_id=src_id,
-            )
-
-        # Commit: remap atomically (single simulation instant).
-        dst_table = self.translator.page_table(dst_server_id)
-        src_frames: list[int] = []
-        for page_index in range(first_page, first_page + pages_per_extent):
-            src_entry = src_table.unmap_page(page_index)
-            src_frames.append(src_entry.frame_offset)
-            dst_table.map_page(page_index, page_to_dst[page_index], src_entry.protection)
-        self.regions[src_id].free_frames(src_frames)
-        self.translator.global_map.reassign(extent_index, dst_server_id)
-        self._extent_frames[extent_index] = [
-            page_to_dst[p] for p in range(first_page, first_page + pages_per_extent)
-        ]
-        return pages_per_extent * page_bytes
+            # Commit: remap atomically (single simulation instant).
+            dst_table = self.translator.page_table(dst_server_id)
+            src_frames: list[int] = []
+            for page_index in range(first_page, first_page + pages_per_extent):
+                src_entry = src_table.unmap_page(page_index)
+                src_frames.append(src_entry.frame_offset)
+                dst_table.map_page(page_index, page_to_dst[page_index], src_entry.protection)
+            self.regions[src_id].free_frames(src_frames)
+            self.translator.global_map.reassign(extent_index, dst_server_id)
+            self._extent_frames[extent_index] = [
+                page_to_dst[p] for p in range(first_page, first_page + pages_per_extent)
+            ]
+            return pages_per_extent * page_bytes
+        finally:
+            self._unpin_extent(extent_index)
 
 
     def relocate_extent_locally(self, extent_index: int) -> "Process":
@@ -528,6 +573,11 @@ class LogicalMemoryPool(MemoryPool):
         )
 
     def _relocate_body(self, extent_index: int):
+        if (
+            extent_index not in self._extent_frames
+            or extent_index in self._pinned_extents
+        ):
+            return 0  # freed before we started, or another mover owns it
         owner = self.translator.global_map.lookup_extent(extent_index).server_id
         server = self.deployment.server(owner)
         pages_per_extent = self.geometry.pages_per_extent
@@ -535,19 +585,36 @@ class LogicalMemoryPool(MemoryPool):
         first_page = extent_index * pages_per_extent
         table = self.translator.page_table(owner)
         new_frames = self.regions[owner].allocate_frames(pages_per_extent, highest=True)
+        self._pinned_extents.add(extent_index)
+        moved = 0
         old_frames: list[int] = []
-        for page_index, new_frame in zip(
-            range(first_page, first_page + pages_per_extent), new_frames
-        ):
-            entry = table.entry(page_index)
-            old_frames.append(entry.frame_offset)
-            yield self.transport.copy(
-                server.name, entry.frame_offset, server.name, new_frame, page_bytes
-            )
-            entry.frame_offset = new_frame
-        self.regions[owner].free_frames(old_frames)
-        self._extent_frames[extent_index] = list(new_frames)
-        return pages_per_extent * page_bytes
+        try:
+            for page_index, new_frame in zip(
+                range(first_page, first_page + pages_per_extent), new_frames
+            ):
+                entry = table.entry(page_index)
+                old_frames.append(entry.frame_offset)
+                yield self.transport.copy(
+                    server.name, entry.frame_offset, server.name, new_frame, page_bytes
+                )
+                if extent_index in self._doomed_extents:
+                    # freed mid-compaction: stop committing; pages already
+                    # moved keep their new frames (entries are authoritative)
+                    old_frames.pop()
+                    break
+                entry.frame_offset = new_frame
+                moved += 1
+            # superseded old frames, and new frames we never committed to
+            self.regions[owner].free_frames(old_frames[:moved])
+            self.regions[owner].free_frames(new_frames[moved:])
+            if extent_index in self._extent_frames:
+                self._extent_frames[extent_index] = [
+                    table.entry(p).frame_offset
+                    for p in range(first_page, first_page + pages_per_extent)
+                ]
+            return moved * page_bytes
+        finally:
+            self._unpin_extent(extent_index)
 
 
 class PhysicalMemoryPool(MemoryPool):

@@ -73,6 +73,15 @@ class RegionManager:
         self._free_heap: list[int] = list(range(self._boundary, capacity, page))
         self._used_frames: set[int] = set()
         self.resize_events = 0
+        #: the re-flex seam (§4.5).  True (default) keeps the paper's
+        #: demand-driven behavior: allocation flexes private memory into
+        #: the shared region implicitly (``ensure_shared_free``), and
+        #: placement sees that headroom through ``growable_bytes``.
+        #: False freezes the split: only the *explicit* resize API
+        #: (``grow_shared`` / ``shrink_shared`` / ``set_shared_target``)
+        #: moves the boundary — a static split, or one governed by an
+        #: external control loop such as ``repro.scale``'s autoscaler.
+        self.flex_on_demand = True
 
     # -- geometry ------------------------------------------------------------
 
@@ -95,6 +104,13 @@ class RegionManager:
     @property
     def shared_used_bytes(self) -> int:
         return len(self._used_frames) * self.page_bytes
+
+    @property
+    def shared_utilization(self) -> float:
+        """Used fraction of the shared region (1.0 when there is no
+        shared region at all: a zero-byte split is maximally pressured)."""
+        shared = self.shared_bytes
+        return self.shared_used_bytes / shared if shared else 1.0
 
     def regions(self) -> list[Region]:
         """The current split as region descriptors."""
@@ -221,7 +237,17 @@ class RegionManager:
         )
 
     def growable_bytes(self) -> int:
-        """Private memory that could still be flexed into the pool."""
+        """Private memory that could still be flexed into the pool.
+
+        Zero when ``flex_on_demand`` is off: a frozen split offers the
+        allocator only what is actually free in the shared region."""
+        if not self.flex_on_demand:
+            return 0
+        return self.private_bytes // self.page_bytes * self.page_bytes
+
+    def flexable_bytes(self) -> int:
+        """True private headroom, regardless of ``flex_on_demand`` —
+        what an explicit re-flex (autoscaler) could still convert."""
         return self.private_bytes // self.page_bytes * self.page_bytes
 
     def ensure_shared_free(self, nbytes: int) -> None:
@@ -231,6 +257,12 @@ class RegionManager:
         deficit = nbytes - self.shared_free_bytes
         if deficit <= 0:
             return
+        if not self.flex_on_demand:
+            raise CapacityError(
+                f"server {self.server.server_id}: shared region is frozen "
+                f"(flex_on_demand off) with only {self.shared_free_bytes} "
+                f"bytes free; {nbytes} needed"
+            )
         page = self.page_bytes
         grow = -(-deficit // page) * page
         if grow > self.private_bytes:

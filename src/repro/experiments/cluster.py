@@ -53,6 +53,7 @@ class PolicyOutcome:
     total_ops: int
     agg_throughput_ops_s: float
     p99_us: float
+    p999_us: float
     fairness: float
     rejection_rate: float
 
@@ -99,13 +100,14 @@ class ClusterResult:
 
     def render(self) -> str:
         policy_table = format_table(
-            ["policy", "ops", "ops/s", "p99 us", "Jain", "reject %"],
+            ["policy", "ops", "ops/s", "p99 us", "p99.9 us", "Jain", "reject %"],
             [
                 (
                     p.policy,
                     p.total_ops,
                     f"{p.agg_throughput_ops_s:,.0f}",
                     f"{p.p99_us:.2f}",
+                    f"{p.p999_us:.2f}",
                     f"{p.fairness:.3f}",
                     f"{100 * p.rejection_rate:.1f}",
                 )
@@ -217,11 +219,13 @@ def _policy_run(
     specs = _specs(tenant_count, server_count, quota_bytes=mib(8), priority=PriorityClass.STANDARD)
     report = driver.run(specs, ops_per_tenant)
     duration_s = max(report.duration_ns, 1.0) / 1e9
+    summary = report.latency_summary()
     outcome = PolicyOutcome(
         policy=policy,
         total_ops=report.total_ops,
         agg_throughput_ops_s=report.total_ops / duration_s,
-        p99_us=report.p99_ns / 1e3,
+        p99_us=summary.get("p99", 0.0) / 1e3,
+        p999_us=summary.get("p99.9", 0.0) / 1e3,
         fairness=report.fairness,
         rejection_rate=report.rejection_rate,
     )

@@ -58,8 +58,12 @@ class MemoryTransport:
         self.switch = switch
         self.reads_issued = 0
         self.writes_issued = 0
+        self.copies_issued = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        #: fabric-level copy volume (migration, cache fills) — the
+        #: independent ledger migration-cost conservation checks audit
+        self.bytes_copied = 0
         #: callback-chained (processless) reads/writes/copies; see module
         #: docstring.  Off by default: existing traces stay byte-identical.
         self.hybrid_transfers = hybrid_transfers
@@ -242,6 +246,8 @@ class MemoryTransport:
         continuously at every flow transition, so the chunk loop buys no
         extra fidelity there.
         """
+        self.copies_issued += 1
+        self.bytes_copied += size
         if self.hybrid_transfers:
             return self._copy_fast(src_owner, src_addr, dst_owner, dst_addr, size)
         return self.engine.process(

@@ -1,0 +1,36 @@
+"""repro.scale: population-scale open-loop serving (ROADMAP item 2).
+
+Open-loop traffic synthesis (:mod:`repro.scale.traffic`), the
+slot-indexed 10k-tenant driver (:mod:`repro.scale.driver`), the elastic
+re-flex autoscaler closing §4.5's private/shared split into a control
+loop (:mod:`repro.scale.autoscaler`), and the roll-up the experiment
+renders (:mod:`repro.scale.report`).
+"""
+
+from repro.scale.autoscaler import AutoscalerConfig, ReflexAction, ReflexAutoscaler
+from repro.scale.driver import ScaleDriver
+from repro.scale.report import CrowdWindow, ScaleReport, build_report
+from repro.scale.traffic import (
+    Arrival,
+    BurstModel,
+    DiurnalCycle,
+    FlashCrowd,
+    OpenLoopTraffic,
+    TrafficSpec,
+)
+
+__all__ = [
+    "Arrival",
+    "AutoscalerConfig",
+    "BurstModel",
+    "CrowdWindow",
+    "DiurnalCycle",
+    "FlashCrowd",
+    "OpenLoopTraffic",
+    "ReflexAction",
+    "ReflexAutoscaler",
+    "ScaleDriver",
+    "ScaleReport",
+    "TrafficSpec",
+    "build_report",
+]

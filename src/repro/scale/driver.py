@@ -1,0 +1,230 @@
+"""The 10k-tenant open-loop serving driver.
+
+:class:`~repro.cluster.driver.ClusterDriver` runs one generator frame,
+one RNG stream, and a handful of sessions *per tenant* — fine at dozens
+of tenants, hopeless at ten thousand.  :class:`ScaleDriver` inverts the
+structure: tenants are *slots* (plain ints indexing flat arrays), one
+pump process replays the :class:`~repro.scale.traffic.OpenLoopTraffic`
+arrival stream, and each request is a short-lived process that enters
+through :meth:`~repro.cluster.manager.PoolManager.acquire` (admission
+control, placement, leases — the real front door) and parks its lease
+on an expiry heap.  One reaper process batch-releases due leases
+through :meth:`~repro.cluster.manager.PoolManager.release_many`, so a
+thousand simultaneous expiries cost one admission-queue pass, not a
+thousand.
+
+Per-event work is O(log heap) + O(log tenants): no per-tenant process,
+no per-tenant eager RNG (access streams spawn lazily on a slot's first
+data op), no O(tenants) scans anywhere on the hot path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+
+from repro.cluster.tenants import PriorityClass, TenantSpec
+from repro.errors import (
+    AddressError,
+    AdmissionError,
+    ClusterError,
+    ConfigError,
+    MemoryFailureError,
+    TenantRevokedError,
+)
+from repro.sim.stats import Histogram
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    import random
+
+    from repro.cluster.leases import Lease
+    from repro.cluster.manager import PoolManager
+    from repro.scale.traffic import Arrival, OpenLoopTraffic
+    from repro.sim.process import Process
+
+
+class ScaleDriver:
+    """Open-loop population driver over one :class:`PoolManager`."""
+
+    #: observability seam, mirroring the cluster driver's: installed by
+    #: repro.obs when requested, None (no per-request span work) by
+    #: default — the bench asserts this stays uninstalled.
+    _obs: _t.ClassVar[_t.Any] = None
+
+    def __init__(
+        self,
+        manager: "PoolManager",
+        traffic: "OpenLoopTraffic",
+        quota_bytes: int,
+        priority: PriorityClass = PriorityClass.STANDARD,
+        drain_grace_ns: float | None = None,
+    ) -> None:
+        if quota_bytes <= 0:
+            raise ConfigError(f"quota must be positive, got {quota_bytes}")
+        self.manager = manager
+        self.engine = manager.engine
+        self.traffic = traffic
+        spec = traffic.spec
+        servers = sorted(manager.pool.regions)
+        if not servers:
+            raise ConfigError("the pool has no servers to home tenants on")
+        n = spec.tenants
+        #: slotted per-tenant state: flat arrays, no per-tenant objects
+        #: beyond the manager's own registration
+        self.granted_by_slot = [0] * n
+        self.rejected_by_slot = [0] * n
+        self.grant_latency = Histogram()
+        self.arrivals_seen = 0
+        self.released = 0
+        self.drained = 0
+        self.crowd_arrivals = [0] * len(spec.flash_crowds)
+        self.crowd_rejects = [0] * len(spec.flash_crowds)
+        #: after the pump finishes, wait this long for holds to expire,
+        #: then fail whatever is still queued (the end-of-run drain)
+        self.drain_grace_ns = (
+            drain_grace_ns if drain_grace_ns is not None else 10.0 * spec.hold_mean_ns
+        )
+        self._ids = [f"t{slot}" for slot in range(n)]
+        self._slot_rng: dict[int, "random.Random"] = {}
+        self._heap: list[tuple[float, int, "Lease"]] = []
+        self._seq = 0
+        self._inflight = 0
+        self._pump_done = False
+        self._kick: _t.Any = None
+        for slot in range(n):
+            manager.register_tenant(
+                TenantSpec(
+                    tenant_id=self._ids[slot],
+                    home_server=servers[slot * len(servers) // n],
+                    quota_bytes=quota_bytes,
+                    priority=priority,
+                )
+            )
+
+    # -- running --------------------------------------------------------------
+
+    def processes(self) -> list["Process"]:
+        """Spawn the pump, the lease reaper, and the end-of-run drain."""
+        pump = self.engine.process(self._pump_body(), name="scale.pump")
+        reaper = self.engine.process(self._reaper_body(), name="scale.reaper")
+        drain = self.engine.process(self._drain_body(pump), name="scale.drain")
+        return [pump, reaper, drain]
+
+    def run(self) -> None:
+        """Replay the whole trace to completion (holds drained)."""
+        self.engine.run(self.engine.all_of(self.processes()))
+
+    # -- the pump -------------------------------------------------------------
+
+    def _pump_body(self) -> _t.Generator[_t.Any, _t.Any, int]:
+        engine = self.engine
+        crowds = self.traffic.spec.flash_crowds
+        for arrival in self.traffic.arrivals():
+            delay = arrival.when_ns - engine.now
+            if delay > 0:
+                yield engine.timeout(delay)
+            self.arrivals_seen += 1
+            for index, crowd in enumerate(crowds):
+                if crowd.active(arrival.when_ns):
+                    self.crowd_arrivals[index] += 1
+            self._inflight += 1
+            engine.process(self._request_body(arrival), name="scale.request")
+        self._pump_done = True
+        self._kick_reaper()
+        return self.arrivals_seen
+
+    # -- one request ----------------------------------------------------------
+
+    def _request_body(self, arrival: "Arrival") -> _t.Generator[_t.Any, _t.Any, None]:
+        engine = self.engine
+        manager = self.manager
+        slot = arrival.slot
+        started = engine.now
+        try:
+            try:
+                lease = yield manager.acquire(self._ids[slot], arrival.size)
+            except (AdmissionError, TenantRevokedError):
+                self.rejected_by_slot[slot] += 1
+                for index, crowd in enumerate(self.traffic.spec.flash_crowds):
+                    if crowd.active(arrival.when_ns):
+                        self.crowd_rejects[index] += 1
+                return
+            self.granted_by_slot[slot] += 1
+            self.grant_latency.record(engine.now - started)
+            if arrival.access:
+                try:
+                    yield from self._touch(slot, lease, arrival)
+                except (ClusterError, MemoryFailureError, AddressError):
+                    pass  # a dead server killed the data op; the lease still expires
+            self._seq += 1
+            heapq.heappush(self._heap, (engine.now + arrival.hold_ns, self._seq, lease))
+            self._kick_reaper()
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._kick_reaper()
+
+    def _touch(
+        self, slot: int, lease: "Lease", arrival: "Arrival"
+    ) -> _t.Generator[_t.Any, _t.Any, None]:
+        """One read or write through the tenant's session."""
+        session = self.manager.tenant(self._ids[slot]).sessions[0]
+        rng = self._slot_rng.get(slot)
+        if rng is None:
+            # lazy: only slots that actually touch data pay for a stream
+            rng = self._slot_rng[slot] = self.engine.rng.stream(f"scale.t{slot}")
+        size = min(self.traffic.spec.access_bytes, lease.size)
+        offset = rng.randrange(lease.size - size + 1)
+        mapping = session.map(lease.buffer)
+        try:
+            if arrival.write:
+                # single writer by construction: the request writes only
+                # inside the buffer of the lease it exclusively holds
+                yield session.write_v(mapping.vaddr + offset, bytes(size))  # noqa: LMP007
+            else:
+                yield session.read_v(mapping.vaddr + offset, size)
+        finally:
+            session.unmap(mapping)
+
+    # -- the reaper -----------------------------------------------------------
+
+    def _kick_reaper(self) -> None:
+        kick = self._kick
+        if kick is not None and not kick.triggered:
+            self._kick = None
+            kick.succeed(None)
+
+    def _reaper_body(self) -> _t.Generator[_t.Any, _t.Any, int]:
+        engine = self.engine
+        heap = self._heap
+        while True:
+            if not heap:
+                if self._pump_done and self._inflight == 0:
+                    return self.released
+                self._kick = engine.event("scale.reaper.kick")
+                yield self._kick
+                continue
+            due = heap[0][0]
+            if due > engine.now:
+                # sleep until the next expiry, but let an earlier grant
+                # (or the run winding down) wake us first
+                kick = engine.event("scale.reaper.kick")
+                self._kick = kick
+                yield engine.any_of([engine.timeout(due - engine.now), kick])
+                if self._kick is kick:
+                    self._kick = None
+                continue
+            batch: list["Lease"] = []
+            while heap and heap[0][0] <= engine.now:
+                batch.append(heapq.heappop(heap)[2])
+            # one admission pass for the whole batch (release_many)
+            self.released += self.manager.release_many(batch)
+
+    # -- the drain ------------------------------------------------------------
+
+    def _drain_body(self, pump: "Process") -> _t.Generator[_t.Any, _t.Any, int]:
+        yield pump
+        if self.drain_grace_ns > 0:
+            yield self.engine.timeout(self.drain_grace_ns)
+        self.drained = self.manager.fail_all_queued("open-loop run drained")
+        return self.drained

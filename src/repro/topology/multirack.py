@@ -16,12 +16,19 @@ experiment reports.
 from __future__ import annotations
 
 import dataclasses
+import typing as _t
 
 from repro.errors import ConfigError
 from repro.fabric.routing import FabricGraph
+from repro.fabric.switch import AccessRoute, FabricSwitch, _remote_latency_fn
+from repro.fabric.transport import MemoryTransport
 from repro.hw.link import LINK_PRESETS
+from repro.hw.server import Server
 from repro.sim.engine import Engine
-from repro.sim.fluid import FluidModel
+from repro.sim.fluid import Capacity, FluidModel
+from repro.sim.trace import Tracer
+from repro.topology.builder import Deployment
+from repro.topology.specs import DeploymentKind, DeploymentSpec
 from repro.units import gib
 
 
@@ -56,6 +63,10 @@ class MultiRackSpec:
 
     def server_name(self, rack: int, index: int) -> str:
         return f"r{rack}s{index}"
+
+    def rack_of_server(self, server_id: int) -> int:
+        """Rack of the flat server id used by functional deployments."""
+        return server_id // self.servers_per_rack
 
     def leaf_name(self, rack: int) -> str:
         return f"leaf{rack}"
@@ -112,3 +123,137 @@ def racks_for_capacity(target_bytes: int, spec: MultiRackSpec) -> int:
     """How many racks of this shape reach *target_bytes* of pool."""
     per_rack = spec.servers_per_rack * spec.server_dram_bytes
     return -(-target_bytes // per_rack)
+
+
+class RackedSwitch(FabricSwitch):
+    """A leaf-spine pod collapsed into one routable switch.
+
+    Same-rack routes behave exactly like the single-switch fabric.
+    Cross-rack routes additionally traverse the source rack's uplink
+    trunk and the destination rack's downlink trunk (shared
+    :class:`~repro.sim.fluid.Capacity` constraints sized by
+    ``trunk_width``) and pay two extra fabric hops of latency — the
+    leaf -> spine -> leaf path of :func:`build_multirack`, made usable
+    by the load/store transport instead of only the analytic model."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        fluid: FluidModel,
+        spec: MultiRackSpec,
+        name: str = "pod",
+    ) -> None:
+        super().__init__(
+            engine, fluid, name=name, port_count=spec.total_servers + 1
+        )
+        self.spec = spec
+        self._rack_of: dict[str, int] = {}
+        self._cross_latency_ns = 2.0 * spec.hop_latency_ns
+        trunk_rate = LINK_PRESETS[spec.link].bandwidth * spec.trunk_width
+        self._trunk_up = [
+            Capacity(f"{name}.{spec.leaf_name(r)}.up", trunk_rate)
+            for r in range(spec.racks)
+        ]
+        self._trunk_down = [
+            Capacity(f"{name}.{spec.leaf_name(r)}.down", trunk_rate)
+            for r in range(spec.racks)
+        ]
+
+    def assign_rack(self, endpoint: str, rack: int) -> None:
+        if not 0 <= rack < self.spec.racks:
+            raise ConfigError(f"rack {rack} out of range for {self.spec.racks} racks")
+        self._rack_of[endpoint] = rack
+
+    def rack_of(self, endpoint: str) -> int | None:
+        return self._rack_of.get(endpoint)
+
+    # -- routing: add the trunk legs to cross-rack paths ----------------------
+
+    def read_route(self, requester: str, owner: str) -> AccessRoute:
+        route = super().read_route(requester, owner)
+        # data flows owner -> requester
+        return self._cross_rack(route, src=owner, dst=requester, link_endpoint=requester)
+
+    def write_route(self, requester: str, owner: str) -> AccessRoute:
+        route = super().write_route(requester, owner)
+        return self._cross_rack(route, src=requester, dst=owner, link_endpoint=requester)
+
+    def copy_route(self, src_owner: str, dst_owner: str) -> AccessRoute:
+        route = super().copy_route(src_owner, dst_owner)
+        return self._cross_rack(route, src=src_owner, dst=dst_owner, link_endpoint=dst_owner)
+
+    def _cross_rack(
+        self, route: AccessRoute, src: str, dst: str, link_endpoint: str
+    ) -> AccessRoute:
+        if not route.remote:
+            return route
+        src_rack = self._rack_of.get(src)
+        dst_rack = self._rack_of.get(dst)
+        if src_rack is None or dst_rack is None or src_rack == dst_rack:
+            return route
+        path = route.path + (self._trunk_up[src_rack], self._trunk_down[dst_rack])
+        base_latency = _remote_latency_fn(self.link_of(link_endpoint), path)
+        extra = self._cross_latency_ns
+
+        def latency() -> float:
+            return base_latency() + extra
+
+        return AccessRoute(
+            path=path,
+            latency_fn=latency,
+            remote=True,
+            description=f"{route.description} (x-rack r{src_rack}->r{dst_rack})",
+        )
+
+
+def build_multirack_deployment(
+    spec: MultiRackSpec,
+    seed: int = 0,
+    scheduler: _t.Any = "heap",
+    hybrid_fluid: bool = False,
+) -> Deployment:
+    """Wire the pod into *functional* hardware: a logical deployment
+    whose servers span racks behind a :class:`RackedSwitch`.
+
+    The result is a standard :class:`~repro.topology.builder.Deployment`
+    — :class:`~repro.core.runtime.LmpRuntime` and the cluster control
+    plane run on it unchanged, which is what lets the 10k-tenant
+    serving scenario pool memory across racks.  Server ids are flat
+    (``rack * servers_per_rack + index``); names follow
+    :meth:`MultiRackSpec.server_name`."""
+    dspec = DeploymentSpec(
+        kind=DeploymentKind.LOGICAL,
+        server_count=spec.total_servers,
+        server_dram_bytes=spec.server_dram_bytes,
+        link=spec.link,
+        switch_ports=spec.total_servers + 1,
+    )
+    engine = Engine(seed=seed, scheduler=scheduler)
+    fluid = FluidModel(engine, transition_driven=hybrid_fluid)
+    switch = RackedSwitch(engine, fluid, spec)
+    servers: list[Server] = []
+    for server_id in range(spec.total_servers):
+        rack, index = divmod(server_id, spec.servers_per_rack)
+        server = Server(
+            engine,
+            fluid,
+            server_id=server_id,
+            dram_bytes=spec.server_dram_bytes,
+            link_spec=dspec.link_spec,
+            core_count=dspec.core_count,
+            name=spec.server_name(rack, index),
+        )
+        switch.attach(server.name, server.link, server.dram)
+        switch.assign_rack(server.name, rack)
+        servers.append(server)
+    transport = MemoryTransport(engine, fluid, switch, hybrid_transfers=hybrid_fluid)
+    return Deployment(
+        spec=dspec,
+        engine=engine,
+        fluid=fluid,
+        switch=switch,
+        servers=servers,
+        pool=None,
+        transport=transport,
+        tracer=Tracer(),
+    )

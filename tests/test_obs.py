@@ -288,8 +288,8 @@ def test_driver_report_federated_into_metrics():
     assert "repro_requests_total" in text
     assert "repro_spans_total" in text
     summary = report.latency_summary()
-    assert set(summary) == {"p50", "p90", "p99", "mean", "max"}
-    assert summary["p50"] <= summary["p99"] <= summary["max"]
+    assert set(summary) == {"p50", "p90", "p99", "p99.9", "mean", "max"}
+    assert summary["p50"] <= summary["p99"] <= summary["p99.9"] <= summary["max"]
 
 
 # --- breakdown + CLI -------------------------------------------------------------

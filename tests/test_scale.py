@@ -1,0 +1,358 @@
+"""Tests for the population-scale subsystem (repro.scale).
+
+Covers the open-loop traffic engine, the slotted 10k-tenant driver, the
+re-flex autoscaler seam, and the honesty of migration costs: shrinking
+under live allocations, growing against queued admissions, and the
+transport-ledger conservation law (bytes charged == bytes moved).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.check.determinism import SCENARIOS
+from repro.cluster.manager import PoolManager
+from repro.cluster.tenants import TenantSpec
+from repro.core.runtime import LmpRuntime
+from repro.errors import ConfigError
+from repro.mem.layout import PageGeometry
+from repro.obs.export import prometheus_text
+from repro.scale import (
+    AutoscalerConfig,
+    BurstModel,
+    DiurnalCycle,
+    FlashCrowd,
+    OpenLoopTraffic,
+    ReflexAutoscaler,
+    ScaleDriver,
+    TrafficSpec,
+    build_report,
+)
+from repro.sim.rng import RngStreams
+from repro.topology.builder import build_logical
+from repro.units import kib, mib, us
+
+EXTENT = kib(64)
+PAGE = kib(16)
+
+
+def scale_manager(server_count: int = 3, shared_fraction: float = 0.5) -> PoolManager:
+    """A small frozen-split manager: the boundary moves only by reflex."""
+    deployment = build_logical(
+        "link0", server_count=server_count, server_dram_bytes=mib(2)
+    )
+    runtime = LmpRuntime(
+        deployment,
+        geometry=PageGeometry(page_bytes=PAGE, extent_bytes=EXTENT),
+        shared_fraction=shared_fraction,
+        coherent_bytes=kib(64),
+        snoop_filter_lines=64,
+    )
+    manager = PoolManager(runtime)
+    for region in manager.pool.regions.values():
+        region.flex_on_demand = False
+    return manager
+
+
+def small_spec(**overrides) -> TrafficSpec:
+    defaults = dict(
+        tenants=50,
+        base_rate_ops_s=0.05e9,  # 0.05 arrivals/ns
+        duration_ns=us(40),
+        diurnal=DiurnalCycle(period_ns=us(20), amplitude=0.4),
+        bursts=BurstModel(multiplier=2.0, mean_on_ns=us(4), mean_off_ns=us(8)),
+        alloc_bytes=EXTENT,
+        hold_mean_ns=us(2),
+    )
+    defaults.update(overrides)
+    return TrafficSpec(**defaults)
+
+
+# --- traffic: validation ------------------------------------------------------
+
+
+def test_traffic_spec_validation():
+    with pytest.raises(ConfigError):
+        small_spec(tenants=0)
+    with pytest.raises(ConfigError):
+        small_spec(base_rate_ops_s=0.0)
+    with pytest.raises(ConfigError):
+        small_spec(write_fraction=1.5)
+    with pytest.raises(ConfigError):
+        FlashCrowd(start_ns=0.0, duration_ns=0.0)
+    with pytest.raises(ConfigError):
+        FlashCrowd(start_ns=0.0, duration_ns=1.0, first_slot=5, last_slot=2)
+    with pytest.raises(ConfigError):  # crowd span exceeds the population
+        small_spec(
+            flash_crowds=(
+                FlashCrowd(start_ns=0.0, duration_ns=1.0, first_slot=0, last_slot=99),
+            )
+        )
+
+
+# --- traffic: determinism and shape -------------------------------------------
+
+
+def test_traffic_same_seed_is_byte_identical():
+    spec = small_spec()
+    first = list(OpenLoopTraffic(spec, RngStreams(7)).arrivals())
+    second = list(OpenLoopTraffic(spec, RngStreams(7)).arrivals())
+    assert first == second
+    assert first != list(OpenLoopTraffic(spec, RngStreams(8)).arrivals())
+
+
+def test_traffic_rate_composition_bounded_by_peak():
+    spec = small_spec(
+        flash_crowds=(FlashCrowd(start_ns=us(10), duration_ns=us(10), multiplier=4.0),)
+    )
+    traffic = OpenLoopTraffic(spec, RngStreams(0))
+    for i in range(200):
+        t = spec.duration_ns * i / 200.0
+        assert traffic.rate_per_ns(t) <= traffic.peak_rate_per_ns + 1e-12
+
+
+def test_flash_crowd_raises_rate_and_focuses_slots():
+    crowd = FlashCrowd(
+        start_ns=us(10),
+        duration_ns=us(20),
+        multiplier=6.0,
+        first_slot=30,
+        last_slot=40,
+        focus=0.9,
+    )
+    spec = small_spec(duration_ns=us(40), flash_crowds=(crowd,))
+    arrivals = list(OpenLoopTraffic(spec, RngStreams(3)).arrivals())
+    inside = [a for a in arrivals if crowd.active(a.when_ns)]
+    outside = [a for a in arrivals if not a.when_ns >= crowd.start_ns]
+    # surge: the 20us window must out-arrive the 10us quiet lead-in by
+    # far more than its 2x length alone explains
+    assert len(inside) > 3 * len(outside)
+    focused = sum(1 for a in inside if 30 <= a.slot < 40)
+    assert focused / len(inside) > 0.7
+    # outside the window the focus slice is as cold as Zipf leaves it
+    cold = sum(1 for a in outside if 30 <= a.slot < 40)
+    assert cold / max(1, len(outside)) < 0.4
+
+
+def test_zipf_popularity_skews_head():
+    arrivals = list(OpenLoopTraffic(small_spec(), RngStreams(1)).arrivals())
+    head = sum(1 for a in arrivals if a.slot < 5)
+    assert head / len(arrivals) > 0.3  # 10% of slots, far more of the traffic
+
+
+# --- driver: construction scales ---------------------------------------------
+
+
+def test_ten_thousand_tenant_construction_under_a_second():
+    manager = scale_manager(server_count=4)
+    spec = small_spec(tenants=10_000)
+    traffic = OpenLoopTraffic(spec, manager.engine.rng)
+    started = time.perf_counter()
+    driver = ScaleDriver(manager, traffic, quota_bytes=mib(1))
+    elapsed = time.perf_counter() - started
+    assert elapsed < 1.0, f"10k-tenant construction took {elapsed:.2f}s"
+    assert len(driver.granted_by_slot) == 10_000
+    # tenants spread across every server, lazily — no RNG spawned yet
+    assert len({t.spec.home_server for t in manager.tenants.values()}) == 4
+    assert driver._slot_rng == {}
+
+
+# --- reflex: shrink under live allocations ------------------------------------
+
+
+def test_reflex_shrink_while_allocated_pays_and_preserves():
+    manager = scale_manager()
+    engine = manager.engine
+    pool = manager.pool
+    manager.register_tenant(
+        TenantSpec(tenant_id="t0", home_server=0, quota_bytes=mib(1))
+    )
+    leases = [engine.run(manager.acquire("t0", EXTENT)) for _ in range(6)]
+    patterns = {}
+    for i, lease in enumerate(leases):
+        patterns[lease.lease_id] = bytes([0x41 + i]) * 16
+        engine.run(pool.write(0, lease.buffer, 128, patterns[lease.lease_id]))
+
+    before_shared = pool.regions[0].shared_bytes
+    report = engine.run(manager.reflex(0, 4 * EXTENT))
+    assert pool.regions[0].shared_bytes < before_shared
+    # the shrink squeezed live extents out: someone paid migration bytes
+    assert report.bytes_evacuated > 0
+    assert report.bytes_evacuated % EXTENT == 0
+    # every lease survived with its data intact and addressable
+    for lease in leases:
+        assert manager.leases.is_live(lease.lease_id)
+        data = engine.run(pool.read(0, lease.buffer, 128, 16))
+        assert data == patterns[lease.lease_id]
+    manager.release(leases[0])  # still releasable
+
+
+def test_reflex_shrink_conserves_transport_bytes():
+    """The conservation law: bytes the reflex charges == bytes the
+    transport actually copied (quiesced, so no dirty-page recopies)."""
+    manager = scale_manager()
+    engine = manager.engine
+    pool = manager.pool
+    transport = manager.runtime.deployment.transport
+    manager.register_tenant(
+        TenantSpec(tenant_id="t0", home_server=0, quota_bytes=mib(1))
+    )
+    leases = [engine.run(manager.acquire("t0", EXTENT)) for _ in range(6)]
+    for lease in leases:
+        engine.run(pool.write(0, lease.buffer, 0, b"paid-for"))
+
+    copied_before = transport.bytes_copied
+    time_before = engine.now
+    report = engine.run(manager.reflex(0, 2 * EXTENT))
+    moved = report.bytes_evacuated + report.bytes_relocated
+    assert moved > 0
+    assert transport.bytes_copied - copied_before == moved
+    assert engine.now > time_before  # the copies took simulated time
+    for lease in leases:
+        assert engine.run(pool.read(0, lease.buffer, 0, 8)) == b"paid-for"
+
+
+# --- reflex: grow races admission --------------------------------------------
+
+
+def test_reflex_grow_unblocks_queued_admission():
+    manager = scale_manager(server_count=2)
+    engine = manager.engine
+    manager.register_tenant(
+        TenantSpec(tenant_id="t0", home_server=0, quota_bytes=mib(4))
+    )
+    # fill the whole frozen pool so the next request must queue
+    free = sum(manager.pool.potential_free_by_server().values())
+    for _ in range(free // EXTENT):
+        engine.run(manager.acquire("t0", EXTENT))
+    assert sum(manager.pool.potential_free_by_server().values()) < EXTENT
+
+    waiter = manager.acquire("t0", EXTENT)
+    engine.run(engine.timeout(10.0))
+    assert not waiter.triggered
+    assert manager.queue_depth == 1
+
+    grown = manager.pool.regions[0].shared_bytes + 2 * EXTENT
+    report = engine.run(manager.reflex(0, grown))
+    assert report.shared_after == grown
+    lease = engine.run(waiter)  # the reflex's queue pass granted it
+    assert manager.leases.is_live(lease.lease_id)
+    assert manager.queue_depth == 0
+
+
+# --- end to end: reduced elastic vs static -----------------------------------
+
+
+def test_elastic_beats_static_on_flash_rejects():
+    from repro.experiments.scale import run
+
+    result = run(tenants=2000, duration_us=1500.0, base_rate_ops_us=1.0)
+    assert result.static.arrivals == result.elastic.arrivals  # same trace
+    assert result.static.flash_reject_rate > 0  # the crowd actually hurt
+    assert result.elastic_wins_flash
+    # the win is honestly billed: every migrated byte went over the wire
+    assert 0 < result.elastic.bytes_migrated <= result.elastic.transport_bytes_copied
+    assert "elastic wins" in result.render()
+    # the autoscaler's windowed timeline reached the exporters
+    assert result.registry.series
+    assert "repro_scale_shared_bytes" in prometheus_text(result.registry)
+
+
+def test_scale_report_quantiles_include_p999():
+    manager = scale_manager()
+    spec = small_spec(tenants=20)
+    driver = ScaleDriver(manager, OpenLoopTraffic(spec, manager.engine.rng), mib(1))
+    driver.run()
+    report = build_report("smoke", driver)
+    assert {"p50", "p99", "p99.9", "mean", "max"} <= set(report.latency)
+    assert report.arrivals == driver.arrivals_seen
+    assert report.granted + report.rejected == report.arrivals
+
+
+def test_autoscaler_config_validation():
+    with pytest.raises(ConfigError):
+        AutoscalerConfig(period_ns=0.0)
+    with pytest.raises(ConfigError):
+        AutoscalerConfig(low_watermark=0.9, high_watermark=0.8)
+    with pytest.raises(ConfigError):
+        AutoscalerConfig(grow_step=0.0)
+    with pytest.raises(ConfigError):
+        AutoscalerConfig(max_shared_fraction=1.5)
+
+
+def test_autoscaler_grows_under_pressure_and_shrinks_after():
+    manager = scale_manager(server_count=2)
+    engine = manager.engine
+    spec = small_spec(
+        tenants=100,
+        base_rate_ops_s=0.08e9,
+        duration_ns=us(60),
+        hold_mean_ns=us(4),
+    )
+    driver = ScaleDriver(manager, OpenLoopTraffic(spec, engine.rng), mib(1))
+    scaler = ReflexAutoscaler(
+        manager,
+        AutoscalerConfig(period_ns=us(2), min_shared_bytes=mib(1)),
+    )
+    procs = driver.processes()
+    procs.append(scaler.run(spec.duration_ns + driver.drain_grace_ns))
+    engine.run(engine.all_of(procs))
+    kinds = {action.kind for action in scaler.actions}
+    assert "grow" in kinds
+    report = build_report("scaled", driver, scaler)
+    assert report.reflex_actions == len(scaler.actions)
+    assert report.bytes_migrated == scaler.bytes_migrated
+
+
+# --- the open-loop race the movers must survive -------------------------------
+
+
+def test_free_during_migration_aborts_without_leaking(logical_pool, logical_deployment):
+    """An open-loop lease expiring mid-migration dooms the extent: the
+    mover must abort, tear the extent down, and leak no frames on
+    either end (the suite-wide alloc sanitizer verifies no double free)."""
+    engine = logical_deployment.engine
+    src_free = logical_pool.regions[0].shared_free_bytes
+    dst_free = logical_pool.regions[2].shared_free_bytes
+    buffer = logical_pool.allocate(mib(256), requester_id=0)
+    extent = list(buffer.extent_indices())[0]
+    migration = logical_pool.migrate_extent(extent, 2)
+
+    def assassin():
+        yield engine.timeout(1000.0)  # well inside the bulk-copy phase
+        logical_pool.free(buffer)
+
+    racer = engine.process(assassin())
+    engine.run(engine.all_of([migration, racer]))
+    assert migration.value == 0  # nothing committed
+    assert extent not in logical_pool._extent_frames
+    assert logical_pool.regions[0].shared_free_bytes == src_free
+    assert logical_pool.regions[2].shared_free_bytes == dst_free
+
+
+def test_free_during_relocation_aborts_without_leaking(
+    logical_pool, logical_deployment
+):
+    engine = logical_deployment.engine
+    free_before = logical_pool.regions[0].shared_free_bytes
+    buffer = logical_pool.allocate(mib(256), requester_id=0)
+    extent = list(buffer.extent_indices())[0]
+    relocation = logical_pool.relocate_extent_locally(extent)
+
+    def assassin():
+        yield engine.timeout(1000.0)
+        logical_pool.free(buffer)
+
+    racer = engine.process(assassin())
+    engine.run(engine.all_of([relocation, racer]))
+    assert extent not in logical_pool._extent_frames
+    assert logical_pool.regions[0].shared_free_bytes == free_before
+
+
+# --- determinism wiring -------------------------------------------------------
+
+
+def test_scale_scenario_registered_for_determinism_and_races():
+    assert "scale" in SCENARIOS
